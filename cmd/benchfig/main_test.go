@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"edgecache/internal/metrics"
+)
+
+func TestParseSeeds(t *testing.T) {
+	seeds, err := parseSeeds("1, 2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 || seeds[0] != 1 || seeds[2] != 3 {
+		t.Errorf("seeds = %v", seeds)
+	}
+	if _, err := parseSeeds(""); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, err := parseSeeds("a,b"); err == nil {
+		t.Error("non-numeric: want error")
+	}
+	if seeds, err := parseSeeds("7,"); err != nil || len(seeds) != 1 {
+		t.Errorf("trailing comma: seeds=%v err=%v", seeds, err)
+	}
+}
+
+func TestRunArgValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no action: want error")
+	}
+	if err := run([]string{"-fig", "9"}); err == nil {
+		t.Error("unknown figure: want error")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag: want error")
+	}
+	if err := run([]string{"-fig", "3", "-seeds", "x"}); err == nil {
+		t.Error("bad seeds: want error")
+	}
+}
+
+func TestRenderFigureChart(t *testing.T) {
+	tb := metrics.NewTable("Fig. X", "epsilon", "LPPM", "Optimum", "LRFU")
+	tb.MustAddRow(0.01, 300.0, 250.0, 350.0)
+	tb.MustAddRow(100.0, 260.0, 250.0, 350.0)
+	out, err := renderFigureChart(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"legend: * LPPM", "o Optimum", "+ LRFU"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	bad := metrics.NewTable("short", "a", "b")
+	bad.MustAddRow(1, 2)
+	if _, err := renderFigureChart(bad); err == nil {
+		t.Error("short table: want error")
+	}
+	nonNumeric := metrics.NewTable("t", "x", "a", "b", "c")
+	nonNumeric.MustAddRow("oops", 1, 2, 3)
+	if _, err := renderFigureChart(nonNumeric); err == nil {
+		t.Error("non-numeric sweep column: want error")
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	// Fig. 2 needs no solver runs, so it is fast enough for a unit test.
+	if err := run([]string{"-fig", "2", "-csv", t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+// Command edgesim runs one edge-caching scenario end-to-end and reports
+// the serving cost, the convergence history and the privacy accounting.
+//
+// Usage:
+//
+//	edgesim                          # paper-default scenario, in-process
+//	edgesim -epsilon 0.1 -delta 0.5  # with LPPM
+//	edgesim -distributed             # BS + SBS agents over an in-memory bus
+//	edgesim -groups 40 -links 60     # topology overrides
+//	edgesim -compare                 # also run LRFU and no-cache baselines
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"edgecache/internal/baseline"
+	"edgecache/internal/core"
+	"edgecache/internal/dp"
+	"edgecache/internal/experiments"
+	"edgecache/internal/model"
+	"edgecache/internal/sim"
+	"edgecache/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edgesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("edgesim", flag.ContinueOnError)
+	var (
+		sbss        = fs.Int("sbss", 3, "number of SBSs")
+		groups      = fs.Int("groups", 30, "number of MU groups")
+		links       = fs.Int("links", 40, "total MU-SBS links")
+		videos      = fs.Int("videos", 50, "catalog size")
+		cacheCap    = fs.Int("cache", 10, "cache capacity per SBS")
+		bandwidth   = fs.Float64("bandwidth", 1000, "bandwidth per SBS")
+		seed        = fs.Int64("seed", 1, "scenario seed")
+		epsilon     = fs.Float64("epsilon", 0, "LPPM privacy budget ε (0 disables privacy)")
+		delta       = fs.Float64("delta", 0.5, "LPPM Laplace component factor δ")
+		distributed = fs.Bool("distributed", false, "run BS and SBS agents over a message bus")
+		compare     = fs.Bool("compare", false, "also run the LRFU and no-cache baselines")
+		restarts    = fs.Int("restarts", 0, "extra shuffled-order restarts (extension)")
+		jacobi      = fs.Bool("jacobi", false, "use the asynchronous Jacobi update mode (extension)")
+		regions     = fs.Int("regions", 1, "number of BS coordination regions (multi-BS extension)")
+		saveInst    = fs.String("save-instance", "", "write the built instance as JSON and continue")
+		loadInst    = fs.String("load-instance", "", "load the instance from JSON instead of building a scenario")
+		saveSol     = fs.String("save-solution", "", "write the final solution as JSON")
+		validate    = fs.Bool("validate", false, "packet-level replay of the solved policy (fluid-model check)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var inst *model.Instance
+	if *loadInst != "" {
+		f, err := os.Open(*loadInst)
+		if err != nil {
+			return err
+		}
+		inst, err = model.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		sc := experiments.DefaultScenario()
+		sc.SBSs = *sbss
+		sc.Groups = *groups
+		sc.LinkCount = *links
+		sc.Videos = *videos
+		sc.CachePerSBS = *cacheCap
+		sc.Bandwidth = *bandwidth
+		sc.Seed = *seed
+		var err error
+		inst, err = sc.Build()
+		if err != nil {
+			return err
+		}
+	}
+	if *saveInst != "" {
+		f, err := os.Create(*saveInst)
+		if err != nil {
+			return err
+		}
+		if err := inst.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote instance to %s\n", *saveInst)
+	}
+	fmt.Printf("scenario: %s\n\n", inst.Summarize())
+
+	var acct dp.Accountant
+	privacy := func(n int) *core.PrivacyConfig {
+		if *epsilon <= 0 {
+			return nil
+		}
+		return &core.PrivacyConfig{
+			Epsilon:    *epsilon,
+			Delta:      *delta,
+			Rng:        rand.New(rand.NewSource(*seed*1000 + int64(n))),
+			Accountant: &acct,
+		}
+	}
+
+	var res *core.RunResult
+	var err error
+	mode := "in-process coordinator"
+	switch {
+	case *distributed:
+		mode = "distributed agents (in-memory bus)"
+		var stats transport.Stats
+		res, stats, err = sim.RunInmemWithStats(context.Background(), inst, sim.BSConfig{}, core.DefaultSubproblemConfig(), privacy)
+		if err == nil {
+			defer fmt.Printf("\nBS traffic: %d messages sent (%d payload bytes), %d received (%d bytes)\n",
+				stats.SentMessages, stats.SentBytes, stats.RecvMessages, stats.RecvBytes)
+		}
+	case *regions > 1:
+		mode = fmt.Sprintf("multi-BS coordination (%d regions)", *regions)
+		if *regions > inst.N {
+			return fmt.Errorf("cannot split %d SBSs into %d regions", inst.N, *regions)
+		}
+		parts := make([][]int, *regions)
+		for n := 0; n < inst.N; n++ {
+			parts[n%*regions] = append(parts[n%*regions], n)
+		}
+		res, err = core.RunMultiBS(inst, core.MultiBSConfig{
+			Regions: parts,
+			Sub:     core.DefaultSubproblemConfig(),
+			Privacy: privacy(0),
+		})
+	default:
+		cfg := core.DefaultConfig()
+		cfg.Privacy = privacy(0)
+		cfg.Restarts = *restarts
+		cfg.RestartSeed = *seed
+		var coord *core.Coordinator
+		coord, err = core.NewCoordinator(inst, cfg)
+		if err != nil {
+			return err
+		}
+		if *jacobi {
+			mode = "asynchronous Jacobi rounds"
+			res, err = coord.RunJacobi()
+		} else {
+			res, err = coord.Run()
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Algorithm 1 (%s): %s\n", mode, res.Solution)
+	fmt.Printf("converged=%v after %d sweeps; served fraction %.1f%%\n",
+		res.Converged, res.Sweeps, 100*model.ServedFraction(inst, res.Solution.Routing))
+	fmt.Println("cost per sweep:")
+	for i, c := range res.History {
+		fmt.Printf("  sweep %2d: %.1f\n", i+1, c)
+	}
+	for n := 0; n < inst.N; n++ {
+		fmt.Printf("SBS %d caches %v (load %.1f / %.0f)\n",
+			n, res.Solution.Caching.Contents(n), res.Solution.Routing.Load(inst, n), inst.Bandwidth[n])
+	}
+	if *epsilon > 0 {
+		fmt.Printf("\n%s\n", acct.String())
+	}
+	if *saveSol != "" {
+		f, err := os.Create(*saveSol)
+		if err != nil {
+			return err
+		}
+		if err := res.Solution.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote solution to %s\n", *saveSol)
+	}
+	if *validate {
+		report, err := sim.ValidatePolicy(inst, res.Solution, sim.ValidateOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\npacket-level replay: realized cost %.1f vs model %.1f (error %.2f%%, %d/%d edge-served, %d fallbacks)\n",
+			report.RealizedCost.Total, report.ModelCost.Total, report.RelativeError*100,
+			report.EdgeServed, report.Requests, report.Fallbacks)
+	}
+
+	if *compare {
+		fmt.Println()
+		lrfu, err := baseline.PlanLRFU(inst, baseline.LRFUConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("LRFU (online replay): cost=%.1f (edge=%.1f backhaul=%.1f), hit rate %.1f%%\n",
+			lrfu.OnlineCost.Total, lrfu.OnlineCost.Edge, lrfu.OnlineCost.Backhaul, 100*lrfu.HitRate)
+		nc, err := baseline.NoCache(inst)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("no-cache ceiling:     cost=%.1f\n", nc.Cost.Total)
+		fmt.Printf("Algorithm 1 saves %.1f%% versus LRFU and %.1f%% versus no caching\n",
+			100*(lrfu.OnlineCost.Total-res.Solution.Cost.Total)/lrfu.OnlineCost.Total,
+			100*(nc.Cost.Total-res.Solution.Cost.Total)/nc.Cost.Total)
+	}
+	return nil
+}

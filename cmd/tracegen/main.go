@@ -1,0 +1,116 @@
+// Command tracegen emits synthetic trending-video workloads: the
+// view-count vector (Fig. 2's series), the MU demand matrix, or an
+// expanded time-ordered request stream, all as CSV on stdout.
+//
+// Usage:
+//
+//	tracegen                       # 50-video view counts
+//	tracegen -format demand -groups 30 -scale 0.0075
+//	tracegen -format stream -groups 30 -scale 0.001 -horizon 30
+//	tracegen -videos 100 -exponent 1.0 -head 200000 -seed 7
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"edgecache/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		videos   = fs.Int("videos", 50, "catalog size")
+		head     = fs.Float64("head", 150000, "views of the most popular video")
+		exponent = fs.Float64("exponent", 0.9, "Zipf decay exponent")
+		jitter   = fs.Float64("jitter", 0.15, "log-normal rank jitter")
+		seed     = fs.Int64("seed", 20181218, "generator seed")
+		format   = fs.String("format", "views", "output: views, demand or stream")
+		groups   = fs.Int("groups", 30, "MU groups (demand and stream formats)")
+		scale    = fs.Float64("scale", 1, "demand scale factor")
+		horizon  = fs.Float64("horizon", 30, "stream horizon in minutes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	views, err := trace.TrendingVideos(trace.TrendingConfig{
+		Videos:    *videos,
+		HeadViews: *head,
+		Exponent:  *exponent,
+		Jitter:    *jitter,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *format {
+	case "views":
+		if err := w.Write([]string{"rank", "views"}); err != nil {
+			return err
+		}
+		for k, v := range views {
+			if err := w.Write([]string{strconv.Itoa(k + 1), strconv.FormatFloat(v, 'f', 0, 64)}); err != nil {
+				return err
+			}
+		}
+	case "demand":
+		demand, err := trace.DemandMatrix(views, *groups, *scale, *seed+1)
+		if err != nil {
+			return err
+		}
+		header := []string{"group"}
+		for f := 0; f < *videos; f++ {
+			header = append(header, fmt.Sprintf("video%d", f+1))
+		}
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		for u, row := range demand {
+			rec := []string{strconv.Itoa(u)}
+			for _, v := range row {
+				rec = append(rec, strconv.FormatFloat(v, 'g', 6, 64))
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	case "stream":
+		demand, err := trace.DemandMatrix(views, *groups, *scale, *seed+1)
+		if err != nil {
+			return err
+		}
+		stream, err := trace.Stream(demand, *horizon, *seed+2)
+		if err != nil {
+			return err
+		}
+		if err := w.Write([]string{"time", "group", "content"}); err != nil {
+			return err
+		}
+		for _, req := range stream {
+			if err := w.Write([]string{
+				strconv.FormatFloat(req.Time, 'f', 4, 64),
+				strconv.Itoa(req.Group),
+				strconv.Itoa(req.Content),
+			}); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown format %q (views, demand or stream)", *format)
+	}
+	return nil
+}

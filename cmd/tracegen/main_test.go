@@ -1,0 +1,85 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected to a pipe and returns the output.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- string(out)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return out
+}
+
+func TestRunViews(t *testing.T) {
+	out := capture(t, func() error { return run([]string{"-videos", "5"}) })
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d, want header + 5", len(lines))
+	}
+	if lines[0] != "rank,views" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRunDemand(t *testing.T) {
+	out := capture(t, func() error {
+		return run([]string{"-format", "demand", "-videos", "4", "-groups", "3", "-scale", "0.5"})
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header + 3 groups", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "group,video1") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRunStream(t *testing.T) {
+	out := capture(t, func() error {
+		return run([]string{"-format", "stream", "-videos", "4", "-groups", "3", "-scale", "0.0005", "-horizon", "10"})
+	})
+	if !strings.HasPrefix(out, "time,group,content") {
+		t.Errorf("header missing: %q", out[:min(40, len(out))])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-format", "nope"}); err == nil {
+		t.Error("unknown format: want error")
+	}
+	if err := run([]string{"-videos", "0"}); err == nil {
+		t.Error("zero videos: want error")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag: want error")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+package edgecache
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeSolve(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Groups = 10
+	sc.Videos = 15
+	sc.LinkCount = 14
+	sc.CachePerSBS = 4
+	sc.TargetDemand = 1500
+	sc.Bandwidth = 400
+	inst, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("facade solve did not converge")
+	}
+	if vs := CheckFeasibility(inst, res.Solution.Caching, res.Solution.Routing); len(vs) != 0 {
+		t.Fatalf("infeasible: %v", vs)
+	}
+	cb := TotalServingCost(inst, res.Solution.Routing)
+	if math.Abs(cb.Total-res.Solution.Cost.Total) > 1e-9 {
+		t.Errorf("cost mismatch: %v vs %v", cb.Total, res.Solution.Cost.Total)
+	}
+	if cb.Total >= inst.MaxCost() {
+		t.Error("solve produced no savings over all-backhaul")
+	}
+}
+
+func TestFacadeSolveWithPrivacy(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Groups = 10
+	sc.Videos = 15
+	sc.LinkCount = 14
+	sc.CachePerSBS = 4
+	sc.TargetDemand = 1500
+	sc.Bandwidth = 400
+	inst, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acct Accountant
+	res, err := SolveWithPrivacy(inst, PrivacyParams{
+		Epsilon: 0.1, Delta: 0.5, Seed: 42, Accountant: &acct,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := CheckFeasibility(inst, res.Solution.Caching, res.Solution.Routing); len(vs) != 0 {
+		t.Fatalf("infeasible: %v", vs)
+	}
+	if res.Solution.Cost.Total < clean.Solution.Cost.Total-1e-6 {
+		t.Errorf("private cost %v below clean cost %v", res.Solution.Cost.Total, clean.Solution.Cost.Total)
+	}
+	if acct.Count() == 0 {
+		t.Error("accountant recorded nothing")
+	}
+	if _, err := SolveWithPrivacy(inst, PrivacyParams{Epsilon: -1}); err == nil {
+		t.Error("invalid privacy params: want error")
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := Solve(&Instance{N: 0}); err == nil {
+		t.Error("invalid instance: want error")
+	}
+}

@@ -1,0 +1,265 @@
+// Package attack implements the honest-but-curious adversary of the
+// paper's §IV threat model: an observer of the aggregate routing policies
+// the BS broadcasts during Algorithm 1, attempting to recover the private
+// per-SBS routing policies.
+//
+// The attack exploits the protocol's structure. In phase n the BS
+// broadcasts B_n = Σ_{i≠n} y_i (eq. 25 with the receiving SBS's own upload
+// removed). Once the sweep has converged the uploads are sweep-invariant,
+// so the N broadcasts of one sweep satisfy
+//
+//	B_n = Y − y_n   with   Y = Σ_i y_i = Σ_n B_n / (N−1),
+//
+// and every individual routing policy is recovered *exactly*:
+// y_n = Y − B_n. Without LPPM the broadcast channel therefore leaks each
+// operator's full routing policy — which is precisely the leak the paper
+// motivates LPPM with. With LPPM the aggregates are built from noised
+// uploads, and the reconstruction recovers only the noised values, whose
+// distance to the true policies grows as ε shrinks (experiment E15).
+package attack
+
+import (
+	"fmt"
+
+	"edgecache/internal/core"
+	"edgecache/internal/model"
+)
+
+// SweepObserver records the broadcasts of Algorithm 1 sweeps, keyed by
+// sweep index. Wire its Tap method into core.Config.BroadcastTap.
+type SweepObserver struct {
+	sweeps map[int][][][]float64 // sweep → phase-ordered broadcast copies
+	n      int
+}
+
+// NewSweepObserver creates an observer expecting n SBS phases per sweep.
+func NewSweepObserver(n int) *SweepObserver {
+	return &SweepObserver{sweeps: make(map[int][][][]float64), n: n}
+}
+
+// Tap implements the core.Config.BroadcastTap contract: it deep-copies
+// every broadcast (the attacker records the channel).
+func (o *SweepObserver) Tap(sweep, phase int, yMinus [][]float64) {
+	cp := make([][]float64, len(yMinus))
+	for u := range yMinus {
+		cp[u] = append([]float64(nil), yMinus[u]...)
+	}
+	for len(o.sweeps[sweep]) < phase {
+		o.sweeps[sweep] = append(o.sweeps[sweep], nil) // out-of-order guard
+	}
+	o.sweeps[sweep] = append(o.sweeps[sweep], cp)
+}
+
+// CompleteSweeps returns the sweep indices for which all N phase
+// broadcasts were captured, in increasing order.
+func (o *SweepObserver) CompleteSweeps() []int {
+	var out []int
+	for s := 0; ; s++ {
+		b, ok := o.sweeps[s]
+		if !ok {
+			break
+		}
+		if len(b) == o.n && !hasNil(b) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func hasNil(b [][][]float64) bool {
+	for _, m := range b {
+		if m == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Reconstruct recovers the per-SBS routing uploads from the broadcasts of
+// one sweep under the converged-sweep assumption: y_n = ΣB/(N−1) − B_n.
+// Negative round-off is clamped at zero. It fails if the sweep was not
+// fully captured or N < 2 (with one SBS its broadcast is all zeros and
+// carries no information).
+func (o *SweepObserver) Reconstruct(sweep int) ([][][]float64, error) {
+	broadcasts, ok := o.sweeps[sweep]
+	if !ok || len(broadcasts) != o.n || hasNil(broadcasts) {
+		return nil, fmt.Errorf("attack: sweep %d not fully captured", sweep)
+	}
+	if o.n < 2 {
+		return nil, fmt.Errorf("attack: reconstruction needs at least 2 SBSs, got %d", o.n)
+	}
+	u := len(broadcasts[0])
+	if u == 0 {
+		return nil, fmt.Errorf("attack: empty broadcasts")
+	}
+	f := len(broadcasts[0][0])
+
+	// Y = Σ_n B_n / (N−1).
+	total := make([][]float64, u)
+	for i := range total {
+		total[i] = make([]float64, f)
+	}
+	for _, b := range broadcasts {
+		for i := 0; i < u; i++ {
+			for j := 0; j < f; j++ {
+				total[i][j] += b[i][j]
+			}
+		}
+	}
+	inv := 1 / float64(o.n-1)
+	for i := 0; i < u; i++ {
+		for j := 0; j < f; j++ {
+			total[i][j] *= inv
+		}
+	}
+
+	out := make([][][]float64, o.n)
+	for n := 0; n < o.n; n++ {
+		out[n] = make([][]float64, u)
+		for i := 0; i < u; i++ {
+			out[n][i] = make([]float64, f)
+			for j := 0; j < f; j++ {
+				v := total[i][j] - broadcasts[n][i][j]
+				if v < 0 {
+					v = 0
+				}
+				out[n][i][j] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReconstructFirstSweep recovers uploads from the very first sweep's
+// broadcasts, before any convergence: at τ = 0 every not-yet-updated SBS
+// still has the all-zero initial policy, so consecutive broadcasts
+// telescope as B_{n+1} − B_n = y_n(0). This recovers SBSs 0..N−2 exactly
+// (the last SBS's upload never appears in a sweep-0 broadcast) — the leak
+// does not wait for the algorithm to converge. Clamps round-off negatives.
+func (o *SweepObserver) ReconstructFirstSweep() ([][][]float64, error) {
+	broadcasts, ok := o.sweeps[0]
+	if !ok || len(broadcasts) != o.n || hasNil(broadcasts) {
+		return nil, fmt.Errorf("attack: sweep 0 not fully captured")
+	}
+	if o.n < 2 {
+		return nil, fmt.Errorf("attack: reconstruction needs at least 2 SBSs, got %d", o.n)
+	}
+	u := len(broadcasts[0])
+	if u == 0 {
+		return nil, fmt.Errorf("attack: empty broadcasts")
+	}
+	f := len(broadcasts[0][0])
+	out := make([][][]float64, o.n-1)
+	for n := 0; n < o.n-1; n++ {
+		out[n] = make([][]float64, u)
+		for i := 0; i < u; i++ {
+			out[n][i] = make([]float64, f)
+			for j := 0; j < f; j++ {
+				v := broadcasts[n+1][i][j] - broadcasts[n][i][j]
+				if v < 0 {
+					v = 0
+				}
+				out[n][i][j] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReconstructionError measures the attack's success against the true
+// policies: the mean per-SBS L1 distance between reconstructed and true
+// routing, normalized by the true L1 mass (0 = perfect reconstruction,
+// i.e. total privacy failure; larger = better protection). Only MU groups
+// linked to the SBS are compared — unlinked entries are structurally zero
+// on both sides.
+func ReconstructionError(inst *model.Instance, truth *model.RoutingPolicy, recovered [][][]float64) (float64, error) {
+	if len(recovered) != inst.N {
+		return 0, fmt.Errorf("attack: recovered %d SBS policies, want %d", len(recovered), inst.N)
+	}
+	var dist, mass float64
+	for n := 0; n < inst.N; n++ {
+		for u := 0; u < inst.U; u++ {
+			if !inst.Links[n][u] {
+				continue
+			}
+			for f := 0; f < inst.F; f++ {
+				d := truth.Route[n][u][f] - recovered[n][u][f]
+				if d < 0 {
+					d = -d
+				}
+				dist += d
+				mass += truth.Route[n][u][f]
+			}
+		}
+	}
+	if mass == 0 {
+		if dist == 0 {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	return dist / mass, nil
+}
+
+// TruthRecorder captures each sweep's pre-noise uploads — the ground
+// truth the attack is measured against. Wire its Tap into
+// core.Config.UploadTap (experiment instrumentation only).
+type TruthRecorder struct {
+	n      int
+	sweeps map[int][][][]float64
+}
+
+// NewTruthRecorder creates a recorder for n SBSs.
+func NewTruthRecorder(n int) *TruthRecorder {
+	return &TruthRecorder{n: n, sweeps: make(map[int][][][]float64)}
+}
+
+// Tap implements the core.Config.UploadTap contract.
+func (r *TruthRecorder) Tap(sweep, phase int, clean, _ [][]float64) {
+	if r.sweeps[sweep] == nil {
+		r.sweeps[sweep] = make([][][]float64, r.n)
+	}
+	cp := make([][]float64, len(clean))
+	for u := range clean {
+		cp[u] = append([]float64(nil), clean[u]...)
+	}
+	r.sweeps[sweep][phase] = cp
+}
+
+// Truth returns the recorded clean uploads of one sweep as a routing
+// policy, or an error if the sweep is incomplete.
+func (r *TruthRecorder) Truth(sweep int) (*model.RoutingPolicy, error) {
+	blocks, ok := r.sweeps[sweep]
+	if !ok {
+		return nil, fmt.Errorf("attack: no uploads recorded for sweep %d", sweep)
+	}
+	for n, b := range blocks {
+		if b == nil {
+			return nil, fmt.Errorf("attack: sweep %d missing SBS %d upload", sweep, n)
+		}
+	}
+	return &model.RoutingPolicy{Route: blocks}, nil
+}
+
+// RunWithObserver runs Algorithm 1 with a broadcast observer (the
+// attacker's view) and a truth recorder (the evaluation's ground truth)
+// attached, and returns all three. Restarts are rejected: multiple runs
+// would interleave their sweeps in the observers.
+func RunWithObserver(inst *model.Instance, cfg core.Config) (*core.RunResult, *SweepObserver, *TruthRecorder, error) {
+	if cfg.Restarts != 0 {
+		return nil, nil, nil, fmt.Errorf("attack: RunWithObserver does not support restarts")
+	}
+	obs := NewSweepObserver(inst.N)
+	truth := NewTruthRecorder(inst.N)
+	cfg.BroadcastTap = obs.Tap
+	cfg.UploadTap = truth.Tap
+	coord, err := core.NewCoordinator(inst, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := coord.Run()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, obs, truth, nil
+}

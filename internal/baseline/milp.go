@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"fmt"
+
+	"edgecache/internal/lp"
+	"edgecache/internal/model"
+)
+
+// MILPOptions tunes the centralized exact solver.
+type MILPOptions struct {
+	// MaxBinaries refuses instances with more than this many binary cache
+	// variables (N·F); branch and bound is exponential and this oracle is
+	// meant for verification-scale instances. 0 means the default 36.
+	MaxBinaries int
+	// Search forwards to the underlying branch-and-bound options.
+	Search lp.MILPOptions
+}
+
+func (o MILPOptions) withDefaults() MILPOptions {
+	if o.MaxBinaries == 0 {
+		o.MaxBinaries = 36
+	}
+	return o
+}
+
+// CentralizedMILP solves the joint caching-and-routing problem (eq. 7-9
+// with constraints 1-4) exactly as a mixed-integer program: binary x_nf,
+// continuous y_nuf restricted to linked pairs with positive demand. It is
+// the ground-truth oracle for the optimality experiments (E7 in DESIGN.md).
+func CentralizedMILP(inst *model.Instance, opts MILPOptions) (*model.Solution, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	numX := inst.N * inst.F
+	if numX > opts.MaxBinaries {
+		return nil, fmt.Errorf("baseline: instance has %d binary variables, limit %d", numX, opts.MaxBinaries)
+	}
+
+	// Variable layout: x_nf at n·F+f, then y variables for servable pairs.
+	type yVar struct{ n, u, f int }
+	var yVars []yVar
+	yIdx := make(map[[3]int]int)
+	for n := 0; n < inst.N; n++ {
+		for u := 0; u < inst.U; u++ {
+			if !inst.Links[n][u] {
+				continue
+			}
+			for f := 0; f < inst.F; f++ {
+				if inst.Demand[u][f] <= 0 {
+					continue
+				}
+				yIdx[[3]int{n, u, f}] = numX + len(yVars)
+				yVars = append(yVars, yVar{n, u, f})
+			}
+		}
+	}
+	nv := numX + len(yVars)
+	p := lp.NewProblem(nv)
+
+	xAt := func(n, f int) int { return n*inst.F + f }
+	for n := 0; n < inst.N; n++ {
+		for f := 0; f < inst.F; f++ {
+			j := xAt(n, f)
+			p.SetBounds(j, 0, 1)
+			p.MarkInteger(j)
+		}
+	}
+	// Objective: minimize Σ (d_nu − d̂_u)·λ_uf·y. The constant W is added
+	// back when reporting the cost.
+	for i, v := range yVars {
+		j := numX + i
+		p.SetBounds(j, 0, 1)
+		p.Obj[j] = (inst.EdgeCost[v.n][v.u] - inst.BSCost[v.u]) * inst.Demand[v.u][v.f]
+	}
+
+	// Eq. 1: cache capacity per SBS.
+	for n := 0; n < inst.N; n++ {
+		coef := make([]float64, nv)
+		for f := 0; f < inst.F; f++ {
+			coef[xAt(n, f)] = 1
+		}
+		p.AddConstraint(coef, lp.LE, float64(inst.CacheCap[n]))
+	}
+	// Eq. 2: y ≤ x per servable pair.
+	for i, v := range yVars {
+		coef := make([]float64, nv)
+		coef[numX+i] = 1
+		coef[xAt(v.n, v.f)] = -1
+		p.AddConstraint(coef, lp.LE, 0)
+	}
+	// Eq. 3: bandwidth per SBS.
+	for n := 0; n < inst.N; n++ {
+		coef := make([]float64, nv)
+		hasLoad := false
+		for i, v := range yVars {
+			if v.n == n {
+				coef[numX+i] = inst.Demand[v.u][v.f]
+				hasLoad = true
+			}
+		}
+		if hasLoad {
+			p.AddConstraint(coef, lp.LE, inst.Bandwidth[n])
+		}
+	}
+	// Eq. 4: no demand served more than once.
+	for u := 0; u < inst.U; u++ {
+		for f := 0; f < inst.F; f++ {
+			coef := make([]float64, nv)
+			hasTerm := false
+			for n := 0; n < inst.N; n++ {
+				if j, ok := yIdx[[3]int{n, u, f}]; ok {
+					coef[j] = 1
+					hasTerm = true
+				}
+			}
+			if hasTerm {
+				p.AddConstraint(coef, lp.LE, 1)
+			}
+		}
+	}
+
+	sol, err := lp.SolveMILP(p, opts.Search)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("baseline: MILP solve ended with status %v", sol.Status)
+	}
+
+	caching := model.NewCachingPolicy(inst)
+	for n := 0; n < inst.N; n++ {
+		for f := 0; f < inst.F; f++ {
+			caching.Cache[n][f] = sol.X[xAt(n, f)] > 0.5
+		}
+	}
+	routing := model.NewRoutingPolicy(inst)
+	for i, v := range yVars {
+		routing.Route[v.n][v.u][v.f] = sol.X[numX+i]
+	}
+	return &model.Solution{
+		Caching: caching,
+		Routing: routing,
+		Cost:    model.TotalServingCost(inst, routing),
+	}, nil
+}

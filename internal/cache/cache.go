@@ -1,0 +1,205 @@
+// Package cache implements the cache-replacement policies used by the
+// paper's evaluation and by this repository's ablation benchmarks.
+//
+// The paper's baseline is LRFU ("a classic caching replacement scheme
+// which swaps the cached content based on the recent request frequency and
+// time", §V-A) — Lee et al.'s policy family that subsumes LRU and LFU via
+// an exponential-decay weighting of past references. LRU, LFU and FIFO are
+// provided alongside it for comparison experiments.
+//
+// All policies share the Policy interface and an internal logical clock
+// that advances by one on every Access, which matches replaying a
+// time-ordered request stream.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+)
+
+// Policy is a cache-replacement policy over integer content identifiers.
+// Implementations are not safe for concurrent use; each simulated SBS owns
+// its own policy instance.
+type Policy interface {
+	// Access records a reference to the content and returns whether it was
+	// already cached (a hit). On a miss the content is admitted, evicting
+	// a victim when the cache is full. Zero-capacity caches never admit.
+	Access(content int) bool
+	// Contains reports whether the content is currently cached, without
+	// touching recency/frequency state.
+	Contains(content int) bool
+	// Contents returns the cached contents in increasing identifier order.
+	Contents() []int
+	// Len returns the number of cached contents and Cap the capacity.
+	Len() int
+	Cap() int
+	// Name identifies the policy in tables and benchmarks.
+	Name() string
+}
+
+// sortedKeys returns map keys in increasing order; shared by Contents
+// implementations.
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LRU evicts the least-recently-used content.
+type LRU struct {
+	capacity int
+	order    *list.List // front = most recent
+	items    map[int]*list.Element
+}
+
+// NewLRU returns an empty LRU cache. Capacity must be non-negative.
+func NewLRU(capacity int) (*LRU, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: capacity must be non-negative, got %d", capacity)
+	}
+	return &LRU{capacity: capacity, order: list.New(), items: make(map[int]*list.Element)}, nil
+}
+
+// Access implements Policy.
+func (c *LRU) Access(content int) bool {
+	if el, ok := c.items[content]; ok {
+		c.order.MoveToFront(el)
+		return true
+	}
+	if c.capacity == 0 {
+		return false
+	}
+	if len(c.items) >= c.capacity {
+		victim := c.order.Back()
+		c.order.Remove(victim)
+		delete(c.items, victim.Value.(int))
+	}
+	c.items[content] = c.order.PushFront(content)
+	return false
+}
+
+// Contains implements Policy.
+func (c *LRU) Contains(content int) bool { _, ok := c.items[content]; return ok }
+
+// Contents implements Policy.
+func (c *LRU) Contents() []int { return sortedKeys(c.items) }
+
+// Len implements Policy.
+func (c *LRU) Len() int { return len(c.items) }
+
+// Cap implements Policy.
+func (c *LRU) Cap() int { return c.capacity }
+
+// Name implements Policy.
+func (c *LRU) Name() string { return "LRU" }
+
+// FIFO evicts in admission order regardless of later accesses.
+type FIFO struct {
+	capacity int
+	order    *list.List // front = oldest
+	items    map[int]*list.Element
+}
+
+// NewFIFO returns an empty FIFO cache. Capacity must be non-negative.
+func NewFIFO(capacity int) (*FIFO, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: capacity must be non-negative, got %d", capacity)
+	}
+	return &FIFO{capacity: capacity, order: list.New(), items: make(map[int]*list.Element)}, nil
+}
+
+// Access implements Policy.
+func (c *FIFO) Access(content int) bool {
+	if _, ok := c.items[content]; ok {
+		return true
+	}
+	if c.capacity == 0 {
+		return false
+	}
+	if len(c.items) >= c.capacity {
+		victim := c.order.Front()
+		c.order.Remove(victim)
+		delete(c.items, victim.Value.(int))
+	}
+	c.items[content] = c.order.PushBack(content)
+	return false
+}
+
+// Contains implements Policy.
+func (c *FIFO) Contains(content int) bool { _, ok := c.items[content]; return ok }
+
+// Contents implements Policy.
+func (c *FIFO) Contents() []int { return sortedKeys(c.items) }
+
+// Len implements Policy.
+func (c *FIFO) Len() int { return len(c.items) }
+
+// Cap implements Policy.
+func (c *FIFO) Cap() int { return c.capacity }
+
+// Name implements Policy.
+func (c *FIFO) Name() string { return "FIFO" }
+
+// LFU evicts the least-frequently-used content, breaking ties by least
+// recent use (the common "LFU-aging-free" formulation).
+type LFU struct {
+	capacity int
+	clock    int64
+	items    map[int]*lfuEntry
+}
+
+type lfuEntry struct {
+	count    int64
+	lastUsed int64
+}
+
+// NewLFU returns an empty LFU cache. Capacity must be non-negative.
+func NewLFU(capacity int) (*LFU, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: capacity must be non-negative, got %d", capacity)
+	}
+	return &LFU{capacity: capacity, items: make(map[int]*lfuEntry)}, nil
+}
+
+// Access implements Policy.
+func (c *LFU) Access(content int) bool {
+	c.clock++
+	if e, ok := c.items[content]; ok {
+		e.count++
+		e.lastUsed = c.clock
+		return true
+	}
+	if c.capacity == 0 {
+		return false
+	}
+	if len(c.items) >= c.capacity {
+		victim, best := -1, lfuEntry{count: 1 << 62, lastUsed: 1 << 62}
+		for k, e := range c.items {
+			if e.count < best.count || (e.count == best.count && e.lastUsed < best.lastUsed) {
+				victim, best = k, *e
+			}
+		}
+		delete(c.items, victim)
+	}
+	c.items[content] = &lfuEntry{count: 1, lastUsed: c.clock}
+	return false
+}
+
+// Contains implements Policy.
+func (c *LFU) Contains(content int) bool { _, ok := c.items[content]; return ok }
+
+// Contents implements Policy.
+func (c *LFU) Contents() []int { return sortedKeys(c.items) }
+
+// Len implements Policy.
+func (c *LFU) Len() int { return len(c.items) }
+
+// Cap implements Policy.
+func (c *LFU) Cap() int { return c.capacity }
+
+// Name implements Policy.
+func (c *LFU) Name() string { return "LFU" }

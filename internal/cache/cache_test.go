@@ -1,0 +1,395 @@
+package cache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"edgecache/internal/trace"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c, err := NewLRU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(1) {
+		t.Error("first access of 1 should miss")
+	}
+	c.Access(2)
+	if !c.Access(1) { // 1 becomes most recent
+		t.Error("access of cached 1 should hit")
+	}
+	c.Access(3) // evicts 2 (least recent)
+	if c.Contains(2) {
+		t.Error("2 should have been evicted")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Errorf("contents = %v, want [1 3]", c.Contents())
+	}
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Errorf("Len/Cap = %d/%d, want 2/2", c.Len(), c.Cap())
+	}
+	if c.Name() != "LRU" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	c, err := NewFIFO(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(1)
+	c.Access(2)
+	c.Access(1) // hit: does NOT refresh FIFO position
+	c.Access(3) // evicts 1 (oldest admission)
+	if c.Contains(1) {
+		t.Error("1 should have been evicted (FIFO ignores recency)")
+	}
+	if !c.Contains(2) || !c.Contains(3) {
+		t.Errorf("contents = %v, want [2 3]", c.Contents())
+	}
+	if c.Name() != "FIFO" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestLFUEviction(t *testing.T) {
+	c, err := NewLFU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(1)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3) // evicts 2 (count 1 < count 2 of content 1)
+	if c.Contains(2) {
+		t.Error("2 should have been evicted")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Errorf("contents = %v, want [1 3]", c.Contents())
+	}
+	if c.Name() != "LFU" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestLFUTieBreakByRecency(t *testing.T) {
+	c, err := NewLFU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(1)
+	c.Access(2) // both count 1; 1 older
+	c.Access(3) // evicts 1
+	if c.Contains(1) || !c.Contains(2) {
+		t.Errorf("contents = %v, want [2 3]", c.Contents())
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	for _, mk := range []func() (Policy, error){
+		func() (Policy, error) { return NewLRU(0) },
+		func() (Policy, error) { return NewFIFO(0) },
+		func() (Policy, error) { return NewLFU(0) },
+		func() (Policy, error) { return NewLRFU(0, 0.5) },
+	} {
+		c, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Access(1) {
+			t.Errorf("%s: zero-capacity cache hit", c.Name())
+		}
+		if c.Len() != 0 {
+			t.Errorf("%s: zero-capacity cache stored content", c.Name())
+		}
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewLRU(-1); err == nil {
+		t.Error("NewLRU(-1): want error")
+	}
+	if _, err := NewFIFO(-1); err == nil {
+		t.Error("NewFIFO(-1): want error")
+	}
+	if _, err := NewLFU(-1); err == nil {
+		t.Error("NewLFU(-1): want error")
+	}
+	if _, err := NewLRFU(-1, 0.5); err == nil {
+		t.Error("NewLRFU(-1, .5): want error")
+	}
+	if _, err := NewLRFU(1, -0.1); err == nil {
+		t.Error("NewLRFU(1, -0.1): want error")
+	}
+	if _, err := NewLRFU(1, 1.5); err == nil {
+		t.Error("NewLRFU(1, 1.5): want error")
+	}
+	if _, err := NewLRFU(1, math.NaN()); err == nil {
+		t.Error("NewLRFU(1, NaN): want error")
+	}
+}
+
+func TestLRFUCRFUpdate(t *testing.T) {
+	c, err := NewLRFU(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AccessAt(7, 1) // CRF = 1
+	if got := c.CRF(7); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CRF after first access = %v, want 1", got)
+	}
+	c.AccessAt(7, 3) // CRF = 1 + 1·2^(−0.5·2) = 1.5
+	if got := c.CRF(7); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("CRF after second access = %v, want 1.5", got)
+	}
+	// Decay read at a later clock without access.
+	c.AccessAt(8, 5) // advances clock to 5; CRF(7) = 1.5·2^(−0.5·2) = 0.75
+	if got := c.CRF(7); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("decayed CRF = %v, want 0.75", got)
+	}
+	if got := c.CRF(99); got != 0 {
+		t.Errorf("CRF of uncached = %v, want 0", got)
+	}
+	if c.Name() != "LRFU" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestLRFUBehavesLikeLFUAtLambdaZero(t *testing.T) {
+	// λ=0: CRF is a pure reference count, so the frequent content survives.
+	c, err := NewLRFU(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(1)
+	c.Access(1)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3) // must evict 2 (CRF 1 vs CRF 3 for content 1)
+	if !c.Contains(1) || c.Contains(2) {
+		t.Errorf("contents = %v, want [1 3]", c.Contents())
+	}
+}
+
+func TestLRFUBehavesLikeLRUAtLambdaOne(t *testing.T) {
+	// λ=1: CRF ≤ 2 always and recency dominates: an item referenced many
+	// times long ago loses to one referenced once just now.
+	c, err := NewLRFU(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Access(1) // heavily referenced early
+	}
+	c.Access(2)
+	c.Access(2)
+	// Push time far forward so content 1's CRF decays away, then insert.
+	for i := 0; i < 20; i++ {
+		c.Access(2)
+	}
+	c.Access(3) // victim should be 1 (stale) not 2 (fresh)
+	if c.Contains(1) || !c.Contains(2) || !c.Contains(3) {
+		t.Errorf("contents = %v, want [2 3]", c.Contents())
+	}
+}
+
+func TestLRFUAccessAtMonotonicClock(t *testing.T) {
+	c, err := NewLRFU(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AccessAt(1, 10)
+	c.AccessAt(2, 5) // out-of-order timestamp: clock must not go backwards
+	if !c.Contains(2) {
+		t.Error("out-of-order access not admitted")
+	}
+	c.Access(3) // logical tick from clock 10
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+}
+
+// Property: no policy ever exceeds its capacity, and every just-accessed
+// content is either cached or the capacity is zero.
+func TestPolicyInvariantsProperty(t *testing.T) {
+	prop := func(capRaw uint8, refs []uint8, lambdaRaw uint8) bool {
+		capacity := int(capRaw % 10)
+		lambda := float64(lambdaRaw%101) / 100
+		policies := []Policy{}
+		if lru, err := NewLRU(capacity); err == nil {
+			policies = append(policies, lru)
+		}
+		if fifo, err := NewFIFO(capacity); err == nil {
+			policies = append(policies, fifo)
+		}
+		if lfu, err := NewLFU(capacity); err == nil {
+			policies = append(policies, lfu)
+		}
+		if lrfu, err := NewLRFU(capacity, lambda); err == nil {
+			policies = append(policies, lrfu)
+		}
+		for _, p := range policies {
+			for _, r := range refs {
+				content := int(r % 20)
+				p.Access(content)
+				if p.Len() > capacity {
+					return false
+				}
+				if capacity > 0 && !p.Contains(content) {
+					return false
+				}
+				if capacity == 0 && p.Len() != 0 {
+					return false
+				}
+			}
+			if len(p.Contents()) != p.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a second access to the same content with no interleaving
+// eviction pressure is always a hit.
+func TestRepeatAccessHitsProperty(t *testing.T) {
+	prop := func(content uint8) bool {
+		for _, mk := range []func() (Policy, error){
+			func() (Policy, error) { return NewLRU(4) },
+			func() (Policy, error) { return NewFIFO(4) },
+			func() (Policy, error) { return NewLFU(4) },
+			func() (Policy, error) { return NewLRFU(4, 0.3) },
+		} {
+			p, err := mk()
+			if err != nil {
+				return false
+			}
+			p.Access(int(content))
+			if !p.Access(int(content)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	stream := []trace.Request{
+		{Time: 1, Group: 0, Content: 1},
+		{Time: 2, Group: 0, Content: 1},
+		{Time: 3, Group: 1, Content: 2},
+		{Time: 4, Group: 1, Content: 1},
+	}
+	lru, err := NewLRU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Replay(lru, stream)
+	if stats.Requests != 4 || stats.Hits != 2 {
+		t.Errorf("stats = %+v, want 4 requests, 2 hits", stats)
+	}
+	if got := stats.HitRate(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("HitRate = %v, want 0.5", got)
+	}
+
+	lrfu, err := NewLRFU(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats = Replay(lrfu, stream)
+	if stats.Hits != 2 {
+		t.Errorf("LRFU replay hits = %d, want 2", stats.Hits)
+	}
+}
+
+func TestMissRatioCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	var stream []trace.Request
+	for i := 0; i < 5000; i++ {
+		stream = append(stream, trace.Request{Time: float64(i), Content: rng.Intn(40)})
+	}
+	caps := []int{1, 5, 10, 20, 40}
+	curve, err := MissRatioCurve("LRU", 0, caps, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != len(caps) {
+		t.Fatalf("curve length = %d, want %d", len(curve), len(caps))
+	}
+	for i, m := range curve {
+		if m < 0 || m > 1 {
+			t.Fatalf("miss ratio %v out of range", m)
+		}
+		// LRU is a stack algorithm: more capacity never hurts.
+		if i > 0 && m > curve[i-1]+1e-12 {
+			t.Errorf("LRU miss ratio increased with capacity: %v", curve)
+		}
+	}
+	// Capacity = catalog: only cold misses remain.
+	if curve[len(curve)-1] > 40.0/5000+1e-9 {
+		t.Errorf("full-catalog miss ratio = %v, want only cold misses", curve[len(curve)-1])
+	}
+	if _, err := MissRatioCurve("nope", 0, caps, stream); err == nil {
+		t.Error("unknown policy: want error")
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	lru, _ := NewLRU(1)
+	stats := Replay(lru, nil)
+	if stats.Requests != 0 || stats.HitRate() != 0 {
+		t.Errorf("empty replay stats = %+v", stats)
+	}
+}
+
+// TestSkewedWorkloadHitRates checks the qualitative ordering on a Zipf
+// workload: frequency-aware policies (LFU, LRFU with small λ) should beat
+// FIFO on a heavily skewed, independently-drawn reference stream.
+func TestSkewedWorkloadHitRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	weights, err := trace.Zipf(100, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	draw := func() int {
+		u := rng.Float64()
+		for i, c := range cum {
+			if u <= c {
+				return i
+			}
+		}
+		return len(cum) - 1
+	}
+	var stream []trace.Request
+	for i := 0; i < 20000; i++ {
+		stream = append(stream, trace.Request{Time: float64(i), Content: draw()})
+	}
+	lfu, _ := NewLFU(10)
+	fifo, _ := NewFIFO(10)
+	lrfu, _ := NewLRFU(10, 0.01)
+	lfuRate := Replay(lfu, stream).HitRate()
+	fifoRate := Replay(fifo, stream).HitRate()
+	lrfuRate := Replay(lrfu, stream).HitRate()
+	if lfuRate <= fifoRate {
+		t.Errorf("LFU (%v) should beat FIFO (%v) on Zipf workload", lfuRate, fifoRate)
+	}
+	if lrfuRate <= fifoRate {
+		t.Errorf("LRFU (%v) should beat FIFO (%v) on Zipf workload", lrfuRate, fifoRate)
+	}
+}

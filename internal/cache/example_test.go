@@ -1,0 +1,45 @@
+package cache_test
+
+import (
+	"fmt"
+	"log"
+
+	"edgecache/internal/cache"
+	"edgecache/internal/trace"
+)
+
+// Example shows the shared Policy interface with the paper's LRFU.
+func Example() {
+	lrfu, err := cache.NewLRFU(2, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hit:", lrfu.Access(1)) // cold miss, admitted
+	fmt.Println("hit:", lrfu.Access(1)) // now cached
+	lrfu.Access(2)
+	lrfu.Access(3) // capacity 2: someone is evicted
+	fmt.Println("cached:", lrfu.Contents())
+	// Output:
+	// hit: false
+	// hit: true
+	// cached: [1 3]
+}
+
+// ExampleMissRatioCurve sizes a cache against a reference stream: with
+// capacity for the whole 3-content working set only the cold misses
+// remain.
+func ExampleMissRatioCurve() {
+	var stream []trace.Request
+	for i := 0; i < 9; i++ {
+		stream = append(stream, trace.Request{Time: float64(i), Content: i % 3})
+	}
+	curve, err := cache.MissRatioCurve("LRU", 0, []int{1, 3}, stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("capacity 1: %.2f miss ratio\n", curve[0])
+	fmt.Printf("capacity 3: %.2f miss ratio\n", curve[1])
+	// Output:
+	// capacity 1: 1.00 miss ratio
+	// capacity 3: 0.33 miss ratio
+}

@@ -1,0 +1,172 @@
+package cache
+
+import (
+	"container/ring"
+	"fmt"
+)
+
+// LFUDA is LFU with Dynamic Aging (Arlitt et al.), the classic fix for
+// LFU's cache pollution: a global age L is added to each admitted or
+// re-referenced content's key value, and L is raised to the victim's key
+// on every eviction, so stale once-popular contents eventually age out.
+// With unit-size contents the key is K_i = C_i + L (C_i the reference
+// count since admission).
+type LFUDA struct {
+	capacity int
+	age      float64
+	clock    int64
+	items    map[int]*lfudaEntry
+}
+
+type lfudaEntry struct {
+	key      float64
+	lastUsed int64
+}
+
+// NewLFUDA returns an empty LFUDA cache.
+func NewLFUDA(capacity int) (*LFUDA, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: capacity must be non-negative, got %d", capacity)
+	}
+	return &LFUDA{capacity: capacity, items: make(map[int]*lfudaEntry)}, nil
+}
+
+// Access implements Policy.
+func (c *LFUDA) Access(content int) bool {
+	c.clock++
+	if e, ok := c.items[content]; ok {
+		e.key++ // one more reference
+		e.lastUsed = c.clock
+		return true
+	}
+	if c.capacity == 0 {
+		return false
+	}
+	if len(c.items) >= c.capacity {
+		victim, best := -1, &lfudaEntry{key: 1 << 62, lastUsed: 1 << 62}
+		for k, e := range c.items {
+			if e.key < best.key || (e.key == best.key && e.lastUsed < best.lastUsed) {
+				victim, best = k, e
+			}
+		}
+		c.age = best.key // dynamic aging: L ← K_victim
+		delete(c.items, victim)
+	}
+	c.items[content] = &lfudaEntry{key: c.age + 1, lastUsed: c.clock}
+	return false
+}
+
+// Contains implements Policy.
+func (c *LFUDA) Contains(content int) bool { _, ok := c.items[content]; return ok }
+
+// Contents implements Policy.
+func (c *LFUDA) Contents() []int { return sortedKeys(c.items) }
+
+// Len implements Policy.
+func (c *LFUDA) Len() int { return len(c.items) }
+
+// Cap implements Policy.
+func (c *LFUDA) Cap() int { return c.capacity }
+
+// Name implements Policy.
+func (c *LFUDA) Name() string { return "LFUDA" }
+
+// Clock is the second-chance (CLOCK) approximation of LRU: contents sit on
+// a ring with a reference bit; the hand sweeps, clearing bits, and evicts
+// the first unreferenced content it meets.
+type Clock struct {
+	capacity int
+	hand     *ring.Ring
+	items    map[int]*clockEntry
+}
+
+type clockEntry struct {
+	node       *ring.Ring
+	referenced bool
+}
+
+// NewClock returns an empty CLOCK cache.
+func NewClock(capacity int) (*Clock, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: capacity must be non-negative, got %d", capacity)
+	}
+	return &Clock{capacity: capacity, items: make(map[int]*clockEntry)}, nil
+}
+
+// Access implements Policy.
+func (c *Clock) Access(content int) bool {
+	if e, ok := c.items[content]; ok {
+		e.referenced = true
+		return true
+	}
+	if c.capacity == 0 {
+		return false
+	}
+	if len(c.items) < c.capacity {
+		node := ring.New(1)
+		node.Value = content
+		if c.hand == nil {
+			c.hand = node
+		} else {
+			c.hand.Prev().Link(node) // insert behind the hand
+		}
+		c.items[content] = &clockEntry{node: node}
+		return false
+	}
+	// Sweep: clear reference bits until an unreferenced victim appears.
+	for {
+		victim := c.hand.Value.(int)
+		e := c.items[victim]
+		if !e.referenced {
+			delete(c.items, victim)
+			e.node.Value = content
+			c.items[content] = &clockEntry{node: e.node}
+			c.hand = e.node.Next()
+			return false
+		}
+		e.referenced = false
+		c.hand = c.hand.Next()
+	}
+}
+
+// Contains implements Policy.
+func (c *Clock) Contains(content int) bool { _, ok := c.items[content]; return ok }
+
+// Contents implements Policy.
+func (c *Clock) Contents() []int { return sortedKeys(c.items) }
+
+// Len implements Policy.
+func (c *Clock) Len() int { return len(c.items) }
+
+// Cap implements Policy.
+func (c *Clock) Cap() int { return c.capacity }
+
+// Name implements Policy.
+func (c *Clock) Name() string { return "CLOCK" }
+
+// NewByName constructs a policy by its canonical name; the online-replay
+// baseline uses it to compare replacement families. lambda only affects
+// LRFU.
+func NewByName(name string, capacity int, lambda float64) (Policy, error) {
+	switch name {
+	case "LRU":
+		return NewLRU(capacity)
+	case "LFU":
+		return NewLFU(capacity)
+	case "FIFO":
+		return NewFIFO(capacity)
+	case "LRFU":
+		return NewLRFU(capacity, lambda)
+	case "LFUDA":
+		return NewLFUDA(capacity)
+	case "CLOCK":
+		return NewClock(capacity)
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %q", name)
+	}
+}
+
+// PolicyNames lists the canonical policy names NewByName accepts.
+func PolicyNames() []string {
+	return []string{"LRU", "LFU", "FIFO", "LRFU", "LFUDA", "CLOCK"}
+}

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLFUDAEviction(t *testing.T) {
+	c, err := NewLFUDA(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(1)
+	c.Access(1) // key(1)=2
+	c.Access(2) // key(2)=1
+	c.Access(3) // evicts 2 (lowest key), age ← 1, key(3)=2
+	if c.Contains(2) || !c.Contains(1) || !c.Contains(3) {
+		t.Errorf("contents = %v, want [1 3]", c.Contents())
+	}
+	if c.Name() != "LFUDA" || c.Cap() != 2 || c.Len() != 2 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestLFUDAAgingBeatsStaleFrequency(t *testing.T) {
+	// Plain LFU would keep content 1 forever after many early hits; LFUDA
+	// ages it out once fresher contents keep cycling through.
+	c, err := NewLFUDA(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Access(1) // key(1) = 10
+	}
+	// Cycle fresh contents: each admission bumps the age.
+	for i := 2; i < 20; i++ {
+		c.Access(i)
+	}
+	if c.Contains(1) {
+		t.Error("LFUDA failed to age out the stale frequent content")
+	}
+}
+
+func TestLFUDAConstructor(t *testing.T) {
+	if _, err := NewLFUDA(-1); err == nil {
+		t.Error("negative capacity: want error")
+	}
+}
+
+func TestClockEviction(t *testing.T) {
+	c, err := NewClock(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(1)
+	c.Access(2)
+	if !c.Access(1) { // sets 1's reference bit
+		t.Error("access of cached 1 should hit")
+	}
+	c.Access(3) // sweep: clears 1's bit (or evicts 2) — LRU-ish: 2 goes
+	if !c.Contains(1) {
+		t.Errorf("contents = %v: second chance should spare the referenced content", c.Contents())
+	}
+	if !c.Contains(3) {
+		t.Errorf("contents = %v: new content must be admitted", c.Contents())
+	}
+	if c.Name() != "CLOCK" || c.Cap() != 2 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestClockConstructor(t *testing.T) {
+	if _, err := NewClock(-1); err == nil {
+		t.Error("negative capacity: want error")
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewByName(name, 4, 0.3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("NewByName(%q).Name() = %q", name, p.Name())
+		}
+		if p.Cap() != 4 {
+			t.Errorf("%s: Cap = %d", name, p.Cap())
+		}
+	}
+	if _, err := NewByName("nope", 4, 0.3); err == nil {
+		t.Error("unknown policy: want error")
+	}
+	if _, err := NewByName("LRFU", 4, 7); err == nil {
+		t.Error("bad lambda must propagate")
+	}
+}
+
+// Property: the new policies obey the same invariants as the original set.
+func TestExtraPolicyInvariantsProperty(t *testing.T) {
+	prop := func(capRaw uint8, refs []uint8) bool {
+		capacity := int(capRaw % 8)
+		for _, name := range []string{"LFUDA", "CLOCK"} {
+			p, err := NewByName(name, capacity, 0)
+			if err != nil {
+				return false
+			}
+			for _, r := range refs {
+				content := int(r % 16)
+				p.Access(content)
+				if p.Len() > capacity {
+					return false
+				}
+				if capacity > 0 && !p.Contains(content) {
+					return false
+				}
+			}
+			if len(p.Contents()) != p.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package cache
+
+import "edgecache/internal/trace"
+
+// ReplayStats summarizes one trace replay.
+type ReplayStats struct {
+	Requests int
+	Hits     int
+}
+
+// HitRate returns Hits/Requests, or 0 for an empty replay.
+func (s ReplayStats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// MissRatioCurve replays the same stream against one policy family at a
+// range of capacities and returns the miss ratio per capacity — the
+// classic working-set analysis used to size caches. For stack algorithms
+// (LRU) the curve is non-increasing; FIFO-style policies can exhibit
+// Bélády's anomaly, which the tests demonstrate rather than forbid.
+func MissRatioCurve(policy string, lambda float64, capacities []int, stream []trace.Request) ([]float64, error) {
+	out := make([]float64, len(capacities))
+	for i, capacity := range capacities {
+		p, err := NewByName(policy, capacity, lambda)
+		if err != nil {
+			return nil, err
+		}
+		stats := Replay(p, stream)
+		out[i] = 1 - stats.HitRate()
+	}
+	return out, nil
+}
+
+// Replay feeds a time-ordered request stream through a policy and returns
+// hit statistics. LRFU policies receive the stream's real timestamps
+// (AccessAt); other policies use their logical clocks.
+func Replay(p Policy, stream []trace.Request) ReplayStats {
+	var stats ReplayStats
+	lrfu, hasTime := p.(*LRFU)
+	for _, req := range stream {
+		var hit bool
+		if hasTime {
+			hit = lrfu.AccessAt(req.Content, req.Time)
+		} else {
+			hit = p.Access(req.Content)
+		}
+		stats.Requests++
+		if hit {
+			stats.Hits++
+		}
+	}
+	return stats
+}

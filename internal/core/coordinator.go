@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"edgecache/internal/dp"
+	"edgecache/internal/model"
+)
+
+// NoiseMechanism selects the noise family used to perturb routing uploads.
+type NoiseMechanism int
+
+// Supported mechanisms.
+const (
+	// MechanismLaplace is the paper's LPPM: bounded Laplace noise on
+	// [0, δ·y] with scale β = Δf/ε (ε-DP, Theorem 4). The default.
+	MechanismLaplace NoiseMechanism = iota
+	// MechanismGaussian subtracts a |N(0,σ)| draw truncated to [0, δ·y]
+	// with the analytic (ε, δ_DP) calibration — the Gaussian variant the
+	// paper's §VII lists as future work.
+	MechanismGaussian
+	// MechanismUniform subtracts plain uniform noise on [0, δ·y]. It has
+	// no calibrated DP guarantee; it is the "directly added random noise"
+	// strawman the paper's §IV argues against, kept for the noise-family
+	// ablation.
+	MechanismUniform
+)
+
+// String names the mechanism.
+func (m NoiseMechanism) String() string {
+	switch m {
+	case MechanismLaplace:
+		return "laplace"
+	case MechanismGaussian:
+		return "gaussian"
+	case MechanismUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("NoiseMechanism(%d)", int(m))
+	}
+}
+
+// PrivacyConfig enables LPPM (§IV of the paper) on every routing upload.
+type PrivacyConfig struct {
+	// Epsilon is the per-release privacy budget ε; Theorem 4 calibrates the
+	// Laplace scale as β = Sensitivity/ε.
+	Epsilon float64
+	// Delta is the paper's Laplace component factor δ ∈ [0,1): the noise
+	// drawn for routing value y lives on [0, δ·y] (eq. 28). It is NOT the
+	// (ε,δ)-DP slack.
+	Delta float64
+	// Sensitivity is Δf in eq. 30. The routing values are fractions in
+	// [0,1], so the default (0 → 1) is the worst-case L1 change from one
+	// SBS altering one routing entry.
+	Sensitivity float64
+	// Rng drives the noise. Required.
+	Rng *rand.Rand
+	// Accountant optionally records every ε spend, labeled per SBS.
+	Accountant *dp.Accountant
+	// Mechanism selects the noise family; the zero value is the paper's
+	// bounded Laplace (LPPM).
+	Mechanism NoiseMechanism
+	// DPDelta is the (ε, δ)-DP slack used only by MechanismGaussian.
+	// 0 means 1e-5. Distinct from Delta, the noise-interval factor.
+	DPDelta float64
+}
+
+func (p *PrivacyConfig) validate() error {
+	if p.Epsilon <= 0 {
+		return fmt.Errorf("core: privacy epsilon must be positive, got %v", p.Epsilon)
+	}
+	if p.Delta < 0 || p.Delta >= 1 {
+		return fmt.Errorf("core: privacy delta must be in [0,1), got %v", p.Delta)
+	}
+	if p.Sensitivity < 0 {
+		return fmt.Errorf("core: privacy sensitivity must be non-negative, got %v", p.Sensitivity)
+	}
+	if p.Rng == nil {
+		return fmt.Errorf("core: privacy config requires an Rng")
+	}
+	switch p.Mechanism {
+	case MechanismLaplace, MechanismUniform:
+	case MechanismGaussian:
+		if d := p.dpDelta(); d <= 0 || d >= 1 {
+			return fmt.Errorf("core: gaussian mechanism needs DPDelta in (0,1), got %v", d)
+		}
+	default:
+		return fmt.Errorf("core: unknown noise mechanism %v", p.Mechanism)
+	}
+	return nil
+}
+
+func (p *PrivacyConfig) dpDelta() float64 {
+	if p.DPDelta > 0 {
+		return p.DPDelta
+	}
+	return 1e-5
+}
+
+func (p *PrivacyConfig) sensitivity() float64 {
+	if p.Sensitivity > 0 {
+		return p.Sensitivity
+	}
+	return 1
+}
+
+// Config tunes Algorithm 1.
+type Config struct {
+	// Sub is the per-SBS sub-problem configuration.
+	Sub SubproblemConfig
+	// Gamma is the relative-improvement convergence threshold γ; the sweep
+	// stops when |f(τ) − f(τ−1)|/f(τ) ≤ γ. 0 means the default 1e-6.
+	Gamma float64
+	// MaxSweeps is T, the sweep budget. 0 means the default 50.
+	MaxSweeps int
+	// Privacy, when non-nil, applies LPPM to every routing upload.
+	Privacy *PrivacyConfig
+
+	// BroadcastTap, when non-nil, observes every aggregate y_{-n} the BS
+	// broadcasts (sweep, phase n, matrix), modeling the paper's §IV
+	// attacker who listens on the broadcast channel. The tap must not
+	// mutate the matrix. Used by internal/attack and experiment E15.
+	BroadcastTap func(sweep, phase int, yMinus [][]float64)
+	// UploadTap, when non-nil, observes each SBS's routing before (clean)
+	// and after (upload) LPPM. It is experiment instrumentation — ground
+	// truth for measuring what an attacker could recover — and must never
+	// be wired up in a deployment. The tap must not mutate the matrices.
+	UploadTap func(sweep, phase int, clean, upload [][]float64)
+
+	// Restarts is an extension beyond the paper: because the no-overserve
+	// constraint (4) couples the SBS blocks, the Gauss-Seidel sweep can
+	// settle in an order-dependent equilibrium (see DESIGN.md and
+	// experiment E7). When Restarts > 0 the coordinator reruns the
+	// algorithm that many extra times with randomly shuffled SBS update
+	// orders and keeps the cheapest result. The first attempt always uses
+	// the paper's fixed 1..N order, so the result is never worse than
+	// plain Algorithm 1. Requires RestartSeed-driven determinism.
+	Restarts int
+	// RestartSeed seeds the order shuffling for Restarts > 0.
+	RestartSeed int64
+}
+
+// DefaultConfig returns the configuration used by the experiment harness.
+func DefaultConfig() Config {
+	return Config{Sub: DefaultSubproblemConfig()}
+}
+
+func (c Config) withDefaults() Config {
+	c.Sub = c.Sub.withDefaults()
+	if c.Gamma <= 0 {
+		c.Gamma = 1e-6
+	}
+	if c.MaxSweeps <= 0 {
+		c.MaxSweeps = 50
+	}
+	return c
+}
+
+// RunResult is the outcome of a full Algorithm 1 run.
+type RunResult struct {
+	// Solution is the final caching and routing policy as seen by the BS
+	// (i.e. post-LPPM when privacy is enabled) with its serving cost.
+	Solution *model.Solution
+	// History records the total serving cost after every sweep; History[0]
+	// is the cost after sweep τ=0.
+	History []float64
+	// Sweeps is the number of sweeps executed; Converged reports whether
+	// the γ-criterion stopped the run (as opposed to the sweep budget).
+	Sweeps    int
+	Converged bool
+}
+
+// Coordinator runs Algorithm 1 in-process: it plays both the BS role
+// (aggregating and re-broadcasting routing policies) and the SBS role
+// (solving P_n). The message-passing deployment in internal/sim produces
+// identical results over a real transport; tests assert that equivalence.
+type Coordinator struct {
+	inst *model.Instance
+	cfg  Config
+	subs []*Subproblem
+	lppm *LPPM // nil when privacy is off
+}
+
+// NewCoordinator validates the instance and precomputes the per-SBS
+// sub-problem solvers.
+func NewCoordinator(inst *model.Instance, cfg Config) (*Coordinator, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{inst: inst, cfg: cfg}
+	if cfg.Privacy != nil {
+		lppm, err := NewLPPM(*cfg.Privacy)
+		if err != nil {
+			return nil, err
+		}
+		c.lppm = lppm
+	}
+	c.subs = make([]*Subproblem, inst.N)
+	for n := 0; n < inst.N; n++ {
+		sub, err := NewSubproblem(inst, n, cfg.Sub)
+		if err != nil {
+			return nil, err
+		}
+		c.subs[n] = sub
+	}
+	return c, nil
+}
+
+// Run executes Algorithm 1 from the all-zero initial policy. With
+// Config.Restarts > 0 it additionally explores shuffled SBS update orders
+// and returns the cheapest run.
+func (c *Coordinator) Run() (*RunResult, error) {
+	order := make([]int, c.inst.N)
+	for i := range order {
+		order[i] = i
+	}
+	best, err := c.runOnce(order)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.Restarts > 0 {
+		rng := rand.New(rand.NewSource(c.cfg.RestartSeed))
+		for attempt := 0; attempt < c.cfg.Restarts; attempt++ {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			res, err := c.runOnce(order)
+			if err != nil {
+				return nil, err
+			}
+			if res.Solution.Cost.Total < best.Solution.Cost.Total {
+				best = res
+			}
+		}
+	}
+	return best, nil
+}
+
+// runOnce executes one full Algorithm 1 run with the given per-sweep SBS
+// update order.
+//
+// The BS evaluates the uploaded aggregate after every sweep anyway
+// (Algorithm 1's stop rule needs f(y(τ))), so it retains the cheapest
+// policy seen and returns that. Without LPPM the sweep costs are
+// non-increasing and this is exactly the final sweep; with LPPM per-sweep
+// noise redraws can drift the trajectory (SBSs start duplicating demand
+// their peers under-report), and keeping the best sweep is the natural
+// BS-side behaviour.
+func (c *Coordinator) runOnce(order []int) (*RunResult, error) {
+	inst := c.inst
+	x := model.NewCachingPolicy(inst)
+	y := model.NewRoutingPolicy(inst) // BS view: uploaded (noised) policies
+
+	res := &RunResult{}
+	var best *model.Solution
+	prevCost := math.Inf(1)
+	for sweep := 0; sweep < c.cfg.MaxSweeps; sweep++ {
+		for _, n := range order {
+			// The BS broadcasts the aggregate routing; SBS n subtracts its
+			// own last upload to obtain y_{-n} (eq. 25).
+			yMinus := y.AggregateExcept(inst, n)
+			if c.cfg.BroadcastTap != nil {
+				c.cfg.BroadcastTap(sweep, n, yMinus)
+			}
+			sub, err := c.subs[n].Solve(yMinus)
+			if err != nil {
+				return nil, err
+			}
+			upload := sub.Routing
+			if c.lppm != nil {
+				upload, err = c.lppm.PerturbSBS(n, sub.Routing)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if c.cfg.UploadTap != nil {
+				c.cfg.UploadTap(sweep, n, sub.Routing, upload)
+			}
+			copy(x.Cache[n], sub.Cache)
+			y.SetSBS(n, upload)
+		}
+		cost := model.TotalServingCost(inst, y)
+		res.History = append(res.History, cost.Total)
+		res.Sweeps = sweep + 1
+		if best == nil || cost.Total < best.Cost.Total {
+			best = &model.Solution{Caching: x.Clone(), Routing: y.Clone(), Cost: cost}
+		}
+
+		// Algorithm 1's stop rule: relative improvement below γ. The
+		// absolute value guards against noise-induced oscillation under
+		// LPPM (Theorem 3 guarantees convergence of the underlying
+		// sequence, but individual sweeps can regress slightly).
+		if cost.Total > 0 && math.Abs(prevCost-cost.Total)/cost.Total <= c.cfg.Gamma {
+			res.Converged = true
+			prevCost = cost.Total
+			break
+		}
+		prevCost = cost.Total
+	}
+
+	if best == nil { // MaxSweeps == 0 cannot happen after withDefaults, but stay safe
+		best = &model.Solution{Caching: x, Routing: y, Cost: model.TotalServingCost(inst, y)}
+	}
+	res.Solution = best
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"edgecache/internal/model"
+)
+
+// SolveExact computes the exact optimum of P_n by exhausting every cache
+// set of size ≤ C_n and solving the routing knapsack for each. It is
+// exponential in F and exists to certify the dual solver's quality in
+// tests; callers must keep F small (the solver refuses F > 20).
+func (s *Subproblem) SolveExact(yMinus [][]float64) (*Result, error) {
+	if s.inst.F > 20 {
+		return nil, fmt.Errorf("core: SolveExact limited to F ≤ 20, got %d", s.inst.F)
+	}
+	if len(yMinus) != s.inst.U {
+		return nil, fmt.Errorf("core: yMinus has %d rows, want U=%d", len(yMinus), s.inst.U)
+	}
+	caps := make([]float64, len(s.items))
+	for i, it := range s.items {
+		caps[i] = clamp01(1 - yMinus[it.u][it.f])
+	}
+
+	capN := s.inst.CacheCap[s.n]
+	bestGain := -1.0
+	var bestX []bool
+	var bestY []float64
+	x := make([]bool, s.inst.F)
+	for mask := 0; mask < 1<<s.inst.F; mask++ {
+		if popcount(mask) > capN {
+			continue
+		}
+		for f := 0; f < s.inst.F; f++ {
+			x[f] = mask&(1<<f) != 0
+		}
+		y, gain := s.RoutingGivenCache(x, caps)
+		if gain > bestGain {
+			bestGain = gain
+			bestX = append([]bool(nil), x...)
+			bestY = y
+		}
+	}
+	res := &Result{Cache: bestX, Routing: s.inst.NewZeroMatrix(), Gain: bestGain}
+	for i, it := range s.items {
+		res.Routing[it.u][it.f] = bestY[i]
+	}
+	return res, nil
+}
+
+func popcount(v int) int {
+	count := 0
+	for v != 0 {
+		v &= v - 1
+		count++
+	}
+	return count
+}
+
+// EvaluateUpload computes the objective contribution of a routing block for
+// SBS n against the instance: the gain Σ (d̂_u − d_nu)·λ_uf·y_nuf over
+// linked pairs. Used by tests and the experiment harness to compare
+// sub-problem solutions without rebuilding full policies.
+func EvaluateUpload(inst *model.Instance, n int, routing [][]float64) float64 {
+	var gain float64
+	for u := 0; u < inst.U; u++ {
+		if !inst.Links[n][u] {
+			continue
+		}
+		density := inst.BSCost[u] - inst.EdgeCost[n][u]
+		for f := 0; f < inst.F; f++ {
+			gain += density * inst.Demand[u][f] * routing[u][f]
+		}
+	}
+	return gain
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"edgecache/internal/model"
+)
+
+// FuzzCoordinator decodes an instance from raw fuzz bytes and asserts the
+// end-to-end invariant: for every structurally valid instance, Algorithm 1
+// terminates without panicking and returns a feasible policy. Run longer
+// sessions with `go test -fuzz=FuzzCoordinator ./internal/core`.
+func FuzzCoordinator(f *testing.F) {
+	f.Add([]byte{2, 3, 4, 10, 20, 30, 5, 100, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{1, 1, 1, 0, 0, 0})
+	f.Add([]byte{3, 2, 5, 255, 0, 128, 9, 9, 9, 9, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst := decodeInstance(data)
+		if inst == nil {
+			return
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("decodeInstance built an invalid instance: %v", err)
+		}
+		cfg := DefaultConfig()
+		cfg.Sub.DualIters = 10
+		cfg.MaxSweeps = 4
+		coord, err := NewCoordinator(inst, cfg)
+		if err != nil {
+			t.Fatalf("NewCoordinator on valid instance: %v", err)
+		}
+		res, err := coord.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if vs := model.CheckFeasibility(inst, res.Solution.Caching, res.Solution.Routing); len(vs) != 0 {
+			t.Fatalf("infeasible solution:\n%s", model.FormatViolations(vs))
+		}
+	})
+}
+
+// decodeInstance deterministically maps fuzz bytes onto a small valid
+// instance (nil when too few bytes). Every byte influences some parameter,
+// so the fuzzer can explore demand skews, link patterns and capacities.
+func decodeInstance(data []byte) *model.Instance {
+	if len(data) < 6 {
+		return nil
+	}
+	next := func(i int) byte {
+		return data[i%len(data)]
+	}
+	n := int(next(0))%3 + 1
+	u := int(next(1))%5 + 1
+	f := int(next(2))%6 + 1
+	inst := &model.Instance{
+		N: n, U: u, F: f,
+		Demand:    make([][]float64, u),
+		Links:     make([][]bool, n),
+		CacheCap:  make([]int, n),
+		Bandwidth: make([]float64, n),
+		EdgeCost:  make([][]float64, n),
+		BSCost:    make([]float64, u),
+	}
+	k := 3
+	for i := 0; i < u; i++ {
+		inst.Demand[i] = make([]float64, f)
+		for j := 0; j < f; j++ {
+			inst.Demand[i][j] = float64(next(k) % 32)
+			k++
+		}
+		inst.BSCost[i] = 50 + float64(next(k)%100)
+		k++
+	}
+	for i := 0; i < n; i++ {
+		inst.Links[i] = make([]bool, u)
+		inst.EdgeCost[i] = make([]float64, u)
+		for j := 0; j < u; j++ {
+			inst.Links[i][j] = next(k)%2 == 0
+			k++
+			inst.EdgeCost[i][j] = float64(next(k) % 8)
+			k++
+		}
+		inst.CacheCap[i] = int(next(k)) % (f + 1)
+		k++
+		inst.Bandwidth[i] = float64(next(k) % 64)
+		k++
+	}
+	return inst
+}

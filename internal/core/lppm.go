@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"edgecache/internal/dp"
+)
+
+// LPPM is the paper's Laplace Privacy-Preserving Mechanism (Definition 2)
+// as a reusable component: it perturbs a routing block by subtracting
+// bounded noise, ŷ_nuf = y_nuf − r_nuf with r drawn on [0, δ·y]. The
+// default noise family is the paper's bounded Laplace with β = Δf/ε
+// (Theorem 4); PrivacyConfig.Mechanism selects the Gaussian or uniform
+// variants used by the noise-family ablation (the paper's §VII future
+// work).
+//
+// The in-process Coordinator and the message-passing SBS agents in
+// internal/sim share this type, so the two deployments are provably
+// running the same mechanism.
+type LPPM struct {
+	cfg   PrivacyConfig
+	beta  float64 // Laplace scale (MechanismLaplace)
+	sigma float64 // Gaussian scale (MechanismGaussian)
+}
+
+// NewLPPM validates the configuration and calibrates the noise scale.
+func NewLPPM(cfg PrivacyConfig) (*LPPM, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l := &LPPM{cfg: cfg}
+	switch cfg.Mechanism {
+	case MechanismLaplace:
+		beta, err := dp.BetaForEpsilon(cfg.sensitivity(), cfg.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		l.beta = beta
+	case MechanismGaussian:
+		sigma, err := dp.GaussianMechanism{
+			Sensitivity: cfg.sensitivity(),
+			Epsilon:     cfg.Epsilon,
+			Delta:       cfg.dpDelta(),
+		}.Sigma()
+		if err != nil {
+			return nil, err
+		}
+		l.sigma = sigma
+	case MechanismUniform:
+		// No calibration: magnitude is set purely by δ·y.
+	}
+	return l, nil
+}
+
+// Beta returns the calibrated Laplace scale (zero for other mechanisms).
+func (l *LPPM) Beta() float64 { return l.beta }
+
+// Sigma returns the calibrated Gaussian scale (zero for other mechanisms).
+func (l *LPPM) Sigma() float64 { return l.sigma }
+
+// Epsilon returns the per-release privacy budget.
+func (l *LPPM) Epsilon() float64 { return l.cfg.Epsilon }
+
+// Mechanism returns the configured noise family.
+func (l *LPPM) Mechanism() NoiseMechanism { return l.cfg.Mechanism }
+
+// Perturb returns a noised copy of the routing block and records the ε
+// spend under the given label (typically the SBS identifier) when an
+// accountant is configured. Zero entries stay exactly zero: a demand that
+// was never served leaks nothing and must not be jittered into service.
+func (l *LPPM) Perturb(label string, routing [][]float64) ([][]float64, error) {
+	noised := make([][]float64, len(routing))
+	for u := range routing {
+		noised[u] = make([]float64, len(routing[u]))
+		for f, v := range routing[u] {
+			if v <= 0 {
+				continue
+			}
+			r, err := l.noise(v)
+			if err != nil {
+				return nil, err
+			}
+			noised[u][f] = v - r
+		}
+	}
+	if l.cfg.Accountant != nil {
+		if err := l.cfg.Accountant.Record(label, l.cfg.Epsilon); err != nil {
+			return nil, err
+		}
+	}
+	return noised, nil
+}
+
+// noise draws the disturbance for one routing value.
+func (l *LPPM) noise(y float64) (float64, error) {
+	switch l.cfg.Mechanism {
+	case MechanismLaplace:
+		return dp.LPPMNoise(l.cfg.Rng, y, l.cfg.Delta, l.beta)
+	case MechanismGaussian:
+		return dp.TruncatedHalfNormal(l.cfg.Rng, l.sigma, l.cfg.Delta*y)
+	case MechanismUniform:
+		return l.cfg.Rng.Float64() * l.cfg.Delta * y, nil
+	default:
+		return 0, fmt.Errorf("core: unknown noise mechanism %v", l.cfg.Mechanism)
+	}
+}
+
+// PerturbSBS is a convenience for callers that label spends by SBS index
+// rather than by name.
+func (l *LPPM) PerturbSBS(n int, routing [][]float64) ([][]float64, error) {
+	return l.Perturb(fmt.Sprintf("sbs-%d", n), routing)
+}

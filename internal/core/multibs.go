@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"edgecache/internal/model"
+)
+
+// MultiBSConfig configures the multi-BS extension. The paper (§II-A)
+// analyzes a single BS and claims the analysis "can be easily extended
+// for multiple BSs"; this type makes the extension concrete. SBSs are
+// partitioned into regions, each coordinated by its own BS. Within a
+// region the BS runs the paper's Gauss-Seidel sweep; across regions the
+// BSs exchange only their *regional aggregate routing* once per outer
+// round (regions belong to different operators, so per-SBS uploads never
+// cross a region boundary — strictly less information than the
+// single-BS protocol exposes).
+//
+// Because regions update concurrently against one-round-stale foreign
+// aggregates, two regions can claim the same residual demand; after each
+// round the BSs reconcile through the core network by scaling overserved
+// demands proportionally (the same repair the Jacobi variant uses).
+type MultiBSConfig struct {
+	// Regions partitions the SBS indices: every SBS appears in exactly
+	// one region and regions are non-empty.
+	Regions [][]int
+	// Sub, Gamma, MaxRounds follow Config (0 → defaults 1e-6 and 50).
+	Sub       SubproblemConfig
+	Gamma     float64
+	MaxRounds int
+	// Privacy, when non-nil, applies LPPM to every upload (as in the
+	// single-BS algorithm, noise is added before the routing leaves the
+	// SBS, so regional aggregates are already privatized).
+	Privacy *PrivacyConfig
+}
+
+func (c MultiBSConfig) withDefaults() MultiBSConfig {
+	c.Sub = c.Sub.withDefaults()
+	if c.Gamma <= 0 {
+		c.Gamma = 1e-6
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 50
+	}
+	return c
+}
+
+// validateRegions checks that Regions is a partition of 0..N-1.
+func (c MultiBSConfig) validateRegions(n int) error {
+	if len(c.Regions) == 0 {
+		return fmt.Errorf("core: multi-BS config needs at least one region")
+	}
+	seen := make([]bool, n)
+	count := 0
+	for r, region := range c.Regions {
+		if len(region) == 0 {
+			return fmt.Errorf("core: region %d is empty", r)
+		}
+		for _, idx := range region {
+			if idx < 0 || idx >= n {
+				return fmt.Errorf("core: region %d contains SBS %d outside [0,%d)", r, idx, n)
+			}
+			if seen[idx] {
+				return fmt.Errorf("core: SBS %d assigned to more than one region", idx)
+			}
+			seen[idx] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("core: regions cover %d of %d SBSs", count, n)
+	}
+	return nil
+}
+
+// RunMultiBS executes the multi-BS protocol and returns the converged
+// result. With a single region containing every SBS it degenerates to
+// exactly Algorithm 1 (the repair step never fires because the sequential
+// sweep keeps constraint (4) tight), which the tests assert.
+func RunMultiBS(inst *model.Instance, cfg MultiBSConfig) (*RunResult, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validateRegions(inst.N); err != nil {
+		return nil, err
+	}
+	var lppm *LPPM
+	if cfg.Privacy != nil {
+		l, err := NewLPPM(*cfg.Privacy)
+		if err != nil {
+			return nil, err
+		}
+		lppm = l
+	}
+	subs := make([]*Subproblem, inst.N)
+	for n := 0; n < inst.N; n++ {
+		sub, err := NewSubproblem(inst, n, cfg.Sub)
+		if err != nil {
+			return nil, err
+		}
+		subs[n] = sub
+	}
+
+	// regionOf[n] gives each SBS's region for the foreign-aggregate math.
+	regionOf := make([]int, inst.N)
+	for r, region := range cfg.Regions {
+		for _, n := range region {
+			regionOf[n] = r
+		}
+	}
+
+	x := model.NewCachingPolicy(inst)
+	y := model.NewRoutingPolicy(inst)
+
+	res := &RunResult{}
+	var best *model.Solution
+	prevCost := math.Inf(1)
+	for round := 0; round < cfg.MaxRounds; round++ {
+		// Foreign aggregates are frozen at the start of the round: each
+		// region only knows what the other BSs published last round.
+		foreign := make([][][]float64, len(cfg.Regions))
+		for r := range cfg.Regions {
+			foreign[r] = foreignAggregate(inst, y, regionOf, r)
+		}
+
+		next := y.Clone()
+		for r, region := range cfg.Regions {
+			// Within the region: the paper's sequential sweep against
+			// foreign + intra-region aggregates.
+			for _, n := range region {
+				yMinus := intraAggregateExcept(inst, next, region, n)
+				for u := 0; u < inst.U; u++ {
+					for f := 0; f < inst.F; f++ {
+						yMinus[u][f] += foreign[r][u][f]
+					}
+				}
+				sub, err := subs[n].Solve(yMinus)
+				if err != nil {
+					return nil, err
+				}
+				upload := sub.Routing
+				if lppm != nil {
+					upload, err = lppm.PerturbSBS(n, sub.Routing)
+					if err != nil {
+						return nil, err
+					}
+				}
+				copy(x.Cache[n], sub.Cache)
+				next.SetSBS(n, upload)
+			}
+		}
+		// Cross-region reconciliation: concurrent regions may have
+		// claimed the same residual demand.
+		repairOverserve(inst, next)
+		y = next
+
+		cost := model.TotalServingCost(inst, y)
+		res.History = append(res.History, cost.Total)
+		res.Sweeps = round + 1
+		if best == nil || cost.Total < best.Cost.Total {
+			best = &model.Solution{Caching: x.Clone(), Routing: y.Clone(), Cost: cost}
+		}
+		if cost.Total > 0 && math.Abs(prevCost-cost.Total)/cost.Total <= cfg.Gamma {
+			res.Converged = true
+			prevCost = cost.Total
+			break
+		}
+		prevCost = cost.Total
+	}
+
+	if best == nil {
+		best = &model.Solution{Caching: x, Routing: y, Cost: model.TotalServingCost(inst, y)}
+	}
+	res.Solution = best
+	return res, nil
+}
+
+// foreignAggregate sums the uploaded routing of every SBS outside region r.
+func foreignAggregate(inst *model.Instance, y *model.RoutingPolicy, regionOf []int, r int) [][]float64 {
+	agg := inst.NewZeroMatrix()
+	for n := 0; n < inst.N; n++ {
+		if regionOf[n] == r {
+			continue
+		}
+		for u := 0; u < inst.U; u++ {
+			if !inst.Links[n][u] {
+				continue
+			}
+			for f := 0; f < inst.F; f++ {
+				agg[u][f] += y.Route[n][u][f]
+			}
+		}
+	}
+	return agg
+}
+
+// intraAggregateExcept sums the region's own current routing except SBS n.
+func intraAggregateExcept(inst *model.Instance, y *model.RoutingPolicy, region []int, except int) [][]float64 {
+	agg := inst.NewZeroMatrix()
+	for _, n := range region {
+		if n == except {
+			continue
+		}
+		for u := 0; u < inst.U; u++ {
+			if !inst.Links[n][u] {
+				continue
+			}
+			for f := 0; f < inst.F; f++ {
+				agg[u][f] += y.Route[n][u][f]
+			}
+		}
+	}
+	return agg
+}

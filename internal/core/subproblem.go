@@ -1,0 +1,479 @@
+// Package core implements the paper's two contributions: the distributed
+// Gauss-Seidel algorithm (Algorithm 1, "DUA" — Distributed Updating
+// Algorithm) that jointly optimizes caching and routing, and the LPPM
+// privacy mechanism layered on the routing uploads.
+//
+// The package is organized bottom-up:
+//
+//   - subproblem.go solves the per-SBS problem P_n (eq. 10-14) by
+//     Lagrangian dual decomposition: the coupling y ≤ x is relaxed with
+//     multipliers μ (eq. 15-17); the caching sub-problem (eq. 18) is solved
+//     by an integral greedy (Theorem 1), the routing sub-problem (eq. 20)
+//     by a fractional knapsack, and μ follows the projected sub-gradient
+//     update (eq. 21-23). A primal-recovery pass turns the dual iterates
+//     into a feasible, high-quality (x_n, y_n) pair.
+//   - coordinator.go runs Algorithm 1's synchronized sweep over SBSs,
+//     optionally applying LPPM to every routing upload.
+//   - exact.go provides an exhaustive P_n solver for small instances,
+//     used by tests to certify the dual method's solution quality.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgecache/internal/model"
+)
+
+// SubproblemConfig tunes the dual-decomposition solver for P_n.
+type SubproblemConfig struct {
+	// DualIters is K, the number of sub-gradient iterations.
+	DualIters int
+	// Alpha is the step-size decay in η(k) = 1/(1 + α·k) (eq. 22).
+	Alpha float64
+	// StepScale multiplies η(k). The paper leaves the absolute step scale
+	// implicit; the multipliers μ live on the scale of d̂·λ, so the scale
+	// is calibrated per-SBS from the instance when left at 0 (auto).
+	StepScale float64
+	// MaxCandidates bounds the distinct cache vectors retained for primal
+	// recovery. 0 means the default (8).
+	MaxCandidates int
+}
+
+// DefaultSubproblemConfig returns the configuration used by the experiment
+// harness.
+func DefaultSubproblemConfig() SubproblemConfig {
+	return SubproblemConfig{DualIters: 60, Alpha: 0.2}
+}
+
+func (c SubproblemConfig) withDefaults() SubproblemConfig {
+	if c.DualIters <= 0 {
+		c.DualIters = 60
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.2
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 8
+	}
+	return c
+}
+
+// Subproblem solves P_n for one SBS. It precomputes the SBS's item list
+// (linked (u,f) pairs with positive demand) once and can then be solved
+// repeatedly against different aggregate routings y_{-n}, which is exactly
+// the access pattern of the Gauss-Seidel sweep.
+type Subproblem struct {
+	inst *model.Instance
+	n    int
+	cfg  SubproblemConfig
+	// items enumerates the SBS's servable (u,f) pairs.
+	items []item
+	// stepScale is the resolved sub-gradient step scale.
+	stepScale float64
+}
+
+// item is one servable (u,f) pair from SBS n's perspective.
+type item struct {
+	u, f   int
+	lambda float64
+	// gain is (d̂_u − d_nu)·λ_uf: the cost saved by fully serving the pair
+	// at the edge instead of the backhaul. The paper assumes d̂ ≫ d, so
+	// gains are typically positive.
+	gain float64
+	// density is gain per unit of bandwidth, (d̂_u − d_nu).
+	density float64
+}
+
+// NewSubproblem builds the solver for SBS n.
+func NewSubproblem(inst *model.Instance, n int, cfg SubproblemConfig) (*Subproblem, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n >= inst.N {
+		return nil, fmt.Errorf("core: SBS index %d outside [0,%d)", n, inst.N)
+	}
+	cfg = cfg.withDefaults()
+	s := &Subproblem{inst: inst, n: n, cfg: cfg}
+	var maxDensity float64
+	for u := 0; u < inst.U; u++ {
+		if !inst.Links[n][u] {
+			continue
+		}
+		density := inst.BSCost[u] - inst.EdgeCost[n][u]
+		if density > maxDensity {
+			maxDensity = density
+		}
+		for f := 0; f < inst.F; f++ {
+			lambda := inst.Demand[u][f]
+			if lambda <= 0 {
+				continue
+			}
+			s.items = append(s.items, item{
+				u: u, f: f, lambda: lambda,
+				gain:    density * lambda,
+				density: density,
+			})
+		}
+	}
+	s.stepScale = cfg.StepScale
+	if s.stepScale <= 0 {
+		// μ must climb to the scale of the routing coefficients
+		// ((d̂−d)·λ ≈ density·λ) within a handful of iterations; scale the
+		// step by the largest per-unit density so convergence speed is
+		// instance-independent.
+		s.stepScale = maxDensity
+		if s.stepScale <= 0 {
+			s.stepScale = 1
+		}
+	}
+	return s, nil
+}
+
+// Result is the outcome of one P_n solve.
+type Result struct {
+	// Cache is x_n (length F) and Routing y_n (U×F).
+	Cache   []bool
+	Routing [][]float64
+	// Gain is the serving-cost reduction Σ (d̂−d)·λ·y achieved versus
+	// routing nothing; the coordinator uses it for reporting only.
+	Gain float64
+	// DualIters is the number of sub-gradient iterations executed.
+	DualIters int
+}
+
+// Solve computes SBS n's best response to the aggregate routing yMinus
+// (U×F, the portion of each demand already served by the other SBSs). The
+// returned policy satisfies the cache capacity, bandwidth, box and
+// no-overserve constraints, and routing only touches cached contents.
+func (s *Subproblem) Solve(yMinus [][]float64) (*Result, error) {
+	if len(yMinus) != s.inst.U {
+		return nil, fmt.Errorf("core: yMinus has %d rows, want U=%d", len(yMinus), s.inst.U)
+	}
+	for u, row := range yMinus {
+		if len(row) != s.inst.F {
+			return nil, fmt.Errorf("core: yMinus[%d] has %d entries, want F=%d", u, len(row), s.inst.F)
+		}
+	}
+
+	// Residual capacity per item: y_nuf ≤ clamp(1 − y_{-n,uf}, 0, 1),
+	// which enforces the coupling constraint (4) inside the block update.
+	caps := make([]float64, len(s.items))
+	for i, it := range s.items {
+		caps[i] = clamp01(1 - yMinus[it.u][it.f])
+	}
+
+	// Dual loop (eq. 21-23).
+	mu := make([]float64, len(s.items)) // μ_uf ≥ 0, one per servable pair
+	y := make([]float64, len(s.items))
+	scoreBuf := make([]float64, s.inst.F)
+	candidates := newCandidateSet(s.cfg.MaxCandidates)
+	iters := 0
+	for k := 0; k < s.cfg.DualIters; k++ {
+		iters++
+		// Caching sub-problem (eq. 18): maximize Σ_f x_f·Σ_u μ_uf under
+		// Σ x_f ≤ C_n — integral greedy over per-content scores.
+		for f := range scoreBuf {
+			scoreBuf[f] = 0
+		}
+		for i, it := range s.items {
+			scoreBuf[it.f] += mu[i]
+		}
+		x := s.cachingStep(scoreBuf)
+		candidates.add(x)
+
+		// Routing sub-problem (eq. 20): fractional knapsack with
+		// coefficients w = (d−d̂)·λ + μ over the bandwidth budget.
+		s.routingStep(y, mu, caps)
+
+		// Projected sub-gradient update μ ← [μ + η·(y − x)]⁺ (eq. 21-23).
+		eta := s.stepScale / (1 + s.cfg.Alpha*float64(k))
+		done := true
+		for i, it := range s.items {
+			g := y[i]
+			if x[it.f] {
+				g -= 1
+			}
+			if g > 1e-9 {
+				done = false
+			}
+			mu[i] = math.Max(0, mu[i]+eta*g)
+		}
+		if done && k >= 1 {
+			// The relaxed constraint y ≤ x holds, so the current primal
+			// pair is feasible; further dual iterations cannot improve it.
+			break
+		}
+	}
+
+	// Primal recovery: for every distinct cache vector seen, compute the
+	// exact optimal routing given that cache and keep the best.
+	best := s.recoverPrimal(candidates, caps)
+	best.DualIters = iters
+	return best, nil
+}
+
+// cachingStep solves eq. 18: pick the C_n contents with the largest
+// positive multiplier mass. Ties at zero are left uncached (they earn
+// nothing in the dual); primal recovery fills free capacity greedily.
+func (s *Subproblem) cachingStep(score []float64) []bool {
+	capN := s.inst.CacheCap[s.n]
+	x := make([]bool, s.inst.F)
+	if capN == 0 {
+		return x
+	}
+	idx := make([]int, 0, len(score))
+	for f, sc := range score {
+		if sc > 0 {
+			idx = append(idx, f)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if score[idx[a]] != score[idx[b]] {
+			return score[idx[a]] > score[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if len(idx) > capN {
+		idx = idx[:capN]
+	}
+	for _, f := range idx {
+		x[f] = true
+	}
+	return x
+}
+
+// routingStep solves eq. 20 in place: minimize Σ (w_i)·y_i with
+// w_i = −gain_i + μ_i, subject to Σ λ_i·y_i ≤ B_n and 0 ≤ y_i ≤ caps_i.
+// Only negative-coefficient items are worth serving; the optimal solution
+// of this LP fills them in increasing w/λ order (fractional knapsack).
+func (s *Subproblem) routingStep(y, mu, caps []float64) {
+	order := make([]int, 0, len(s.items))
+	for i := range s.items {
+		y[i] = 0
+		if -s.items[i].gain+mu[i] < 0 && caps[i] > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		ra := (-s.items[ia].gain + mu[ia]) / s.items[ia].lambda
+		rb := (-s.items[ib].gain + mu[ib]) / s.items[ib].lambda
+		if ra != rb {
+			return ra < rb
+		}
+		return ia < ib
+	})
+	budget := s.inst.Bandwidth[s.n]
+	for _, i := range order {
+		if budget <= 0 {
+			break
+		}
+		it := s.items[i]
+		amount := math.Min(caps[i], budget/it.lambda)
+		y[i] = amount
+		budget -= amount * it.lambda
+	}
+}
+
+// RoutingGivenCache computes the exact optimal routing for a fixed cache
+// vector x: a fractional knapsack over the cached, linked pairs with
+// per-item capacity caps. It returns the flat item routing and the total
+// gain. This is both the primal-recovery engine and, composed with a cache
+// search, an independent P_n solver.
+func (s *Subproblem) RoutingGivenCache(x []bool, caps []float64) ([]float64, float64) {
+	y := make([]float64, len(s.items))
+	order := make([]int, 0, len(s.items))
+	for i, it := range s.items {
+		if x[it.f] && caps[i] > 0 && it.gain > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if s.items[ia].density != s.items[ib].density {
+			return s.items[ia].density > s.items[ib].density
+		}
+		return ia < ib
+	})
+	budget := s.inst.Bandwidth[s.n]
+	var gain float64
+	for _, i := range order {
+		if budget <= 1e-12 {
+			break
+		}
+		it := s.items[i]
+		amount := math.Min(caps[i], budget/it.lambda)
+		y[i] = amount
+		budget -= amount * it.lambda
+		gain += amount * it.gain
+	}
+	return y, gain
+}
+
+// BestRoutingForCache computes the optimal routing block (U×F) for a fixed
+// cache vector against the aggregate routing of the other SBSs. Baselines
+// use it to route on externally chosen caches (e.g. LRFU's) with exactly
+// the same knapsack the distributed algorithm uses, so cost comparisons
+// isolate the caching decision.
+func (s *Subproblem) BestRoutingForCache(x []bool, yMinus [][]float64) ([][]float64, error) {
+	if len(x) != s.inst.F {
+		return nil, fmt.Errorf("core: cache vector has %d entries, want F=%d", len(x), s.inst.F)
+	}
+	if len(yMinus) != s.inst.U {
+		return nil, fmt.Errorf("core: yMinus has %d rows, want U=%d", len(yMinus), s.inst.U)
+	}
+	caps := make([]float64, len(s.items))
+	for i, it := range s.items {
+		caps[i] = clamp01(1 - yMinus[it.u][it.f])
+	}
+	y, _ := s.RoutingGivenCache(x, caps)
+	block := s.inst.NewZeroMatrix()
+	for i, it := range s.items {
+		block[it.u][it.f] = y[i]
+	}
+	return block, nil
+}
+
+// recoverPrimal evaluates every candidate cache vector (plus a greedy
+// marginal-gain candidate) with exact routing and returns the best
+// feasible pair as a Result in matrix form.
+func (s *Subproblem) recoverPrimal(candidates *candidateSet, caps []float64) *Result {
+	// The greedy candidate is evaluated unconditionally: it must not be
+	// crowded out when the dual loop already produced MaxCandidates
+	// distinct vectors.
+	vectors := append([][]bool{s.greedyCache(caps)}, candidates.list...)
+
+	var bestGain float64 = -1
+	var bestX []bool
+	var bestY []float64
+	for _, x := range vectors {
+		y, gain := s.RoutingGivenCache(x, caps)
+		if gain > bestGain {
+			bestGain, bestX, bestY = gain, x, y
+		}
+	}
+	bestX, bestY, bestGain = s.localSearch(bestX, bestY, bestGain, caps)
+
+	res := &Result{
+		Cache:   bestX,
+		Routing: s.inst.NewZeroMatrix(),
+		Gain:    bestGain,
+	}
+	for i, it := range s.items {
+		res.Routing[it.u][it.f] = bestY[i]
+	}
+	return res
+}
+
+// localSearch improves a cache vector by 1-swap exchanges (replace one
+// cached content with one uncached content) until no swap improves the
+// exact routing gain. The greedy candidate is near-optimal but not optimal
+// (submodular greedy); swaps close the residual gap on the instances this
+// repository targets.
+func (s *Subproblem) localSearch(x []bool, y []float64, gain float64, caps []float64) ([]bool, []float64, float64) {
+	if x == nil {
+		return x, y, gain
+	}
+	const maxPasses = 4
+	work := append([]bool(nil), x...)
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for out := 0; out < s.inst.F; out++ {
+			if !work[out] {
+				continue
+			}
+			for in := 0; in < s.inst.F; in++ {
+				if work[in] || in == out {
+					continue
+				}
+				work[out], work[in] = false, true
+				candY, candGain := s.RoutingGivenCache(work, caps)
+				if candGain > gain+1e-9 {
+					gain, y = candGain, candY
+					x = append(x[:0], work...)
+					improved = true
+					break // 'out' is no longer cached; rescan
+				}
+				work[out], work[in] = true, false
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return x, y, gain
+}
+
+// greedyCache builds a cache vector by repeatedly adding the content with
+// the largest marginal routing gain (a submodular-style greedy). It is the
+// fallback candidate that keeps primal recovery strong when the dual
+// multipliers have not yet separated the useful contents.
+func (s *Subproblem) greedyCache(caps []float64) []bool {
+	capN := s.inst.CacheCap[s.n]
+	x := make([]bool, s.inst.F)
+	if capN == 0 || len(s.items) == 0 {
+		return x
+	}
+	_, baseGain := s.RoutingGivenCache(x, caps)
+	for picked := 0; picked < capN; picked++ {
+		bestF, bestGain := -1, baseGain
+		for f := 0; f < s.inst.F; f++ {
+			if x[f] {
+				continue
+			}
+			x[f] = true
+			_, gain := s.RoutingGivenCache(x, caps)
+			x[f] = false
+			if gain > bestGain+1e-12 {
+				bestF, bestGain = f, gain
+			}
+		}
+		if bestF == -1 {
+			break // no content adds gain (bandwidth exhausted or no demand)
+		}
+		x[bestF] = true
+		baseGain = bestGain
+	}
+	return x
+}
+
+// candidateSet deduplicates cache vectors up to a size cap.
+type candidateSet struct {
+	max  int
+	seen map[string]bool
+	list [][]bool
+}
+
+func newCandidateSet(max int) *candidateSet {
+	return &candidateSet{max: max, seen: make(map[string]bool)}
+}
+
+func (c *candidateSet) add(x []bool) {
+	if len(c.list) >= c.max {
+		return
+	}
+	key := make([]byte, len(x))
+	for i, v := range x {
+		if v {
+			key[i] = 1
+		}
+	}
+	k := string(key)
+	if c.seen[k] {
+		return
+	}
+	c.seen[k] = true
+	c.list = append(c.list, append([]bool(nil), x...))
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"edgecache/internal/lp"
+)
+
+// TestTheorem1CachingLPIsIntegral verifies the paper's Theorem 1 ("the
+// optimal solution of caching subproblem after the relaxation is
+// integral") directly: the caching sub-problem (eq. 18-19)
+//
+//	max Σ_f x_f·score_f   s.t.  Σ_f x_f ≤ C,  x ∈ [0,1]^F
+//
+// has a totally unimodular constraint matrix, so its LP relaxation —
+// solved here by the repository's own simplex — must return a 0/1 vertex
+// for every score vector, matching the greedy integral step the dual
+// solver uses.
+func TestTheorem1CachingLPIsIntegral(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := 3 + rng.Intn(8)
+		capacity := 1 + rng.Intn(f)
+		scores := make([]float64, f)
+		for j := range scores {
+			// Multiplier masses μ are non-negative; include exact ties to
+			// stress degenerate vertices.
+			scores[j] = math.Round(rng.Float64()*10) / 2
+		}
+
+		p := lp.NewProblem(f)
+		p.Maximize = true
+		copy(p.Obj, scores)
+		coef := make([]float64, f)
+		for j := range coef {
+			p.SetBounds(j, 0, 1)
+			coef[j] = 1
+		}
+		p.AddConstraint(coef, lp.LE, float64(capacity))
+		sol, err := lp.Solve(p)
+		if err != nil || sol.Status != lp.Optimal {
+			return false
+		}
+		// Integrality of the relaxation (Theorem 1).
+		for _, v := range sol.X {
+			if math.Abs(v-math.Round(v)) > 1e-7 {
+				t.Logf("seed %d: fractional vertex %v", seed, sol.X)
+				return false
+			}
+		}
+		// The greedy caching step must achieve the same objective.
+		greedyObj := greedyCachingValue(scores, capacity)
+		return math.Abs(greedyObj-sol.Objective) <= 1e-7*(1+math.Abs(sol.Objective))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// greedyCachingValue reimplements the eq. 18 greedy independently of the
+// Subproblem plumbing: take the top-capacity positive scores.
+func greedyCachingValue(scores []float64, capacity int) float64 {
+	picked := append([]float64(nil), scores...)
+	// selection sort is fine at test sizes
+	var total float64
+	for c := 0; c < capacity; c++ {
+		best, idx := 0.0, -1
+		for j, v := range picked {
+			if v > best {
+				best, idx = v, j
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		total += best
+		picked[idx] = 0
+	}
+	return total
+}

@@ -1,0 +1,118 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEmpiricalPrivacyLossValidation(t *testing.T) {
+	a := []float64{0.5}
+	if _, err := EmpiricalPrivacyLoss(nil, a, 0, 1, 10, 1); err == nil {
+		t.Error("empty A: want error")
+	}
+	if _, err := EmpiricalPrivacyLoss(a, nil, 0, 1, 10, 1); err == nil {
+		t.Error("empty B: want error")
+	}
+	if _, err := EmpiricalPrivacyLoss(a, a, 1, 0, 10, 1); err == nil {
+		t.Error("bad range: want error")
+	}
+	if _, err := EmpiricalPrivacyLoss(a, a, 0, 1, 0, 1); err == nil {
+		t.Error("zero buckets: want error")
+	}
+	if _, err := EmpiricalPrivacyLoss([]float64{2}, a, 0, 1, 10, 1); err == nil {
+		t.Error("out-of-range sample: want error")
+	}
+}
+
+func TestEmpiricalPrivacyLossIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = rng.Float64()
+	}
+	res, err := EmpiricalPrivacyLoss(samples, samples, 0, 1, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRatio != 1 || res.EscapeMass != 0 {
+		t.Errorf("identical samples: ratio=%v escape=%v", res.MaxRatio, res.EscapeMass)
+	}
+}
+
+func TestEmpiricalPrivacyLossDisjoint(t *testing.T) {
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = 0.1
+		b[i] = 0.9
+	}
+	res, err := EmpiricalPrivacyLoss(a, b, 0, 1, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EscapeMass != 1 {
+		t.Errorf("disjoint supports: escape = %v, want 1", res.EscapeMass)
+	}
+}
+
+// TestLPPMEmpiricalPrivacyLoss measures the privacy loss of the paper's
+// per-value bounded-Laplace perturbation on two neighboring routing
+// values. Two findings, both documented in EXPERIMENTS.md:
+//
+//  1. Over the common support the probability ratio respects e^ε as
+//     Theorem 4 claims (β = Δf/ε with Δf the value difference).
+//  2. Because the noise interval [0, δ·y] depends on the protected value
+//     itself, the two output supports differ; the escaping mass is a
+//     residual leak that a fixed-interval bounded Laplace (Holohan et
+//     al.) would avoid. The measurement quantifies it.
+func TestLPPMEmpiricalPrivacyLoss(t *testing.T) {
+	const (
+		yA    = 0.80
+		yB    = 0.78
+		delta = 0.5
+		eps   = 1.0
+		n     = 400000
+	)
+	sens := yA - yB // neighboring uploads differing by one routing tweak
+	beta, err := BetaForEpsilon(sens, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	sample := func(y float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			r, err := LPPMNoise(rng, y, delta, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = y - r
+		}
+		return out
+	}
+	a := sample(yA)
+	b := sample(yB)
+	res, err := EmpiricalPrivacyLoss(a, b, 0, 1, 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("LPPM neighboring-output loss: maxRatio=%.3f (e^ε=%.3f), escapeMass=%.4f",
+		res.MaxRatio, math.Exp(eps), res.EscapeMass)
+	// Theorem 4's ratio bound over the common support, with slack for
+	// bucket-edge effects and sampling noise.
+	if res.MaxRatio > math.Exp(eps)*1.5 {
+		t.Errorf("common-support ratio %v far exceeds e^ε = %v", res.MaxRatio, math.Exp(eps))
+	}
+	// The support mismatch is y-dependent by construction: the supports
+	// are [(1−δ)·y, y]. With β = Δf/ε = 0.02 the noise concentrates near
+	// zero, so most of A's outputs land above B's upper end (analytically
+	// P(r < Δf) = (1−e^(−Δf/β))/(1−e^(−δ·y/β)) ≈ 1−e^(−1) ≈ 0.632 for A,
+	// ≈ 0 for B, average ≈ 0.316). This measured leak — absent from a
+	// fixed-interval bounded Laplace à la Holohan et al. — is the main
+	// empirical caveat on the paper's Theorem 4 and is recorded in
+	// EXPERIMENTS.md.
+	if res.EscapeMass < 0.25 || res.EscapeMass > 0.40 {
+		t.Errorf("escape mass %v outside the analytically expected ≈0.316 band", res.EscapeMass)
+	}
+}

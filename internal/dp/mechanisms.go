@@ -1,0 +1,137 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LaplaceMechanism is the classical ε-DP additive mechanism: it releases
+// value + Lap(Δ/ε). The paper contrasts LPPM against it conceptually (plain
+// additive noise can push routing values outside [0,1] and over-serve
+// demands, which is why LPPM subtracts bounded noise instead).
+type LaplaceMechanism struct {
+	// Sensitivity is the L1 sensitivity Δ of the released query.
+	Sensitivity float64
+	// Epsilon is the privacy budget per release.
+	Epsilon float64
+}
+
+// Release perturbs value with Laplace noise of scale Δ/ε.
+func (m LaplaceMechanism) Release(rng *rand.Rand, value float64) (float64, error) {
+	scale, err := BetaForEpsilon(m.Sensitivity, m.Epsilon)
+	if err != nil {
+		return 0, err
+	}
+	return value + SampleLaplace(rng, scale), nil
+}
+
+// GaussianMechanism is the (ε,δ)-DP additive mechanism with noise
+// N(0, σ²), σ = Δ·sqrt(2·ln(1.25/δ))/ε. It is included for the ablation
+// experiments comparing noise families; the paper's LPPM is Laplace-based.
+type GaussianMechanism struct {
+	Sensitivity float64
+	Epsilon     float64
+	// Delta is the (ε,δ)-DP slack, in (0,1). Not to be confused with the
+	// paper's Laplace component factor δ.
+	Delta float64
+}
+
+// Sigma returns the calibrated standard deviation.
+func (m GaussianMechanism) Sigma() (float64, error) {
+	if m.Sensitivity <= 0 {
+		return 0, fmt.Errorf("dp: sensitivity must be positive, got %v", m.Sensitivity)
+	}
+	if m.Epsilon <= 0 || m.Epsilon >= 1 {
+		return 0, fmt.Errorf("dp: the analytic Gaussian calibration needs epsilon in (0,1), got %v", m.Epsilon)
+	}
+	if m.Delta <= 0 || m.Delta >= 1 {
+		return 0, fmt.Errorf("dp: delta must be in (0,1), got %v", m.Delta)
+	}
+	return m.Sensitivity * math.Sqrt(2*math.Log(1.25/m.Delta)) / m.Epsilon, nil
+}
+
+// Release perturbs value with calibrated Gaussian noise.
+func (m GaussianMechanism) Release(rng *rand.Rand, value float64) (float64, error) {
+	sigma, err := m.Sigma()
+	if err != nil {
+		return 0, err
+	}
+	return value + rng.NormFloat64()*sigma, nil
+}
+
+// TruncatedHalfNormal samples |N(0,σ)| conditioned on the result lying in
+// [0, hi], by inverse-CDF sampling (F(r) = erf(r/(σ√2))/erf(hi/(σ√2))).
+// It backs the Gaussian variant of the routing-perturbation mechanism in
+// the noise-family ablation. hi = 0 returns 0.
+func TruncatedHalfNormal(rng *rand.Rand, sigma, hi float64) (float64, error) {
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return 0, fmt.Errorf("dp: sigma must be positive and finite, got %v", sigma)
+	}
+	if hi < 0 || math.IsNaN(hi) {
+		return 0, fmt.Errorf("dp: truncation bound must be non-negative, got %v", hi)
+	}
+	if hi == 0 {
+		return 0, nil
+	}
+	scale := sigma * math.Sqrt2
+	edge := math.Erf(hi / scale)
+	u := rng.Float64()
+	r := scale * math.Erfinv(u*edge)
+	if r < 0 {
+		r = 0
+	}
+	if r > hi {
+		r = hi
+	}
+	return r, nil
+}
+
+// ExponentialMechanism selects an index from a utility vector with the
+// exponential mechanism: P(i) ∝ exp(ε·u(i)/(2Δu)). It provides ε-DP
+// selection and backs the "exponential" noise family in the ablation
+// benchmarks.
+type ExponentialMechanism struct {
+	// Sensitivity is the utility sensitivity Δu.
+	Sensitivity float64
+	// Epsilon is the privacy budget per selection.
+	Epsilon float64
+}
+
+// Select draws an index with probability proportional to
+// exp(ε·utility/(2Δu)). Utilities may be any finite floats.
+func (m ExponentialMechanism) Select(rng *rand.Rand, utilities []float64) (int, error) {
+	if len(utilities) == 0 {
+		return 0, fmt.Errorf("dp: empty utility vector")
+	}
+	if m.Sensitivity <= 0 {
+		return 0, fmt.Errorf("dp: sensitivity must be positive, got %v", m.Sensitivity)
+	}
+	if m.Epsilon <= 0 {
+		return 0, fmt.Errorf("dp: epsilon must be positive, got %v", m.Epsilon)
+	}
+	// Shift by the max for numerical stability before exponentiating.
+	maxU := math.Inf(-1)
+	for i, u := range utilities {
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			return 0, fmt.Errorf("dp: utilities[%d] = %v is not finite", i, u)
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	weights := make([]float64, len(utilities))
+	var total float64
+	for i, u := range utilities {
+		weights[i] = math.Exp(m.Epsilon * (u - maxU) / (2 * m.Sensitivity))
+		total += weights[i]
+	}
+	target := rng.Float64() * total
+	for i, w := range weights {
+		target -= w
+		if target <= 0 {
+			return i, nil
+		}
+	}
+	return len(utilities) - 1, nil // guard against float round-off
+}

@@ -1,0 +1,193 @@
+// Package dynamic studies the caching schemes under popularity churn over
+// a time-slotted horizon. The paper optimizes one static snapshot (its
+// companion work, Zeng et al. ICDCS 2019 [33], treats the online setting
+// centrally); this package extends the reproduction with the natural
+// distributed-online question: how much does re-planning with Algorithm 1
+// every slot buy over planning once, and how does the reactive LRFU
+// baseline fare when popularity keeps moving under it?
+//
+// Churn model: between slots, randomly chosen content pairs swap their
+// demand columns (rank churn — trending videos overtaking each other),
+// leaving the total demand mass invariant so costs stay comparable across
+// slots.
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgecache/internal/baseline"
+	"edgecache/internal/core"
+	"edgecache/internal/model"
+	"edgecache/internal/trace"
+)
+
+// ChurnConfig describes the popularity process.
+type ChurnConfig struct {
+	// Slots is the horizon length (≥ 1).
+	Slots int
+	// SwapsPerSlot is how many random content pairs exchange popularity
+	// between consecutive slots. 0 freezes the workload.
+	SwapsPerSlot int
+	// SlotScale, when non-empty, multiplies each slot's demand by the
+	// given factor (length must be ≥ Slots) — e.g. a diurnal curve from
+	// trace.DiurnalProfile. Empty means constant load.
+	SlotScale []float64
+	// Seed drives the churn.
+	Seed int64
+}
+
+func (c ChurnConfig) validate() error {
+	if c.Slots <= 0 {
+		return fmt.Errorf("dynamic: Slots must be positive, got %d", c.Slots)
+	}
+	if c.SwapsPerSlot < 0 {
+		return fmt.Errorf("dynamic: SwapsPerSlot must be non-negative, got %d", c.SwapsPerSlot)
+	}
+	if len(c.SlotScale) > 0 && len(c.SlotScale) < c.Slots {
+		return fmt.Errorf("dynamic: SlotScale has %d entries for %d slots", len(c.SlotScale), c.Slots)
+	}
+	for i, f := range c.SlotScale {
+		if f < 0 {
+			return fmt.Errorf("dynamic: SlotScale[%d] = %v is negative", i, f)
+		}
+	}
+	return nil
+}
+
+// EvolveDemand returns a copy of demand with the given number of random
+// content-pair swaps applied (columns exchanged across all MU groups).
+func EvolveDemand(demand [][]float64, swaps int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, len(demand))
+	for u := range demand {
+		out[u] = append([]float64(nil), demand[u]...)
+	}
+	if len(demand) == 0 || len(demand[0]) < 2 {
+		return out
+	}
+	f := len(demand[0])
+	for s := 0; s < swaps; s++ {
+		a, b := rng.Intn(f), rng.Intn(f)
+		if a == b {
+			continue
+		}
+		for u := range out {
+			out[u][a], out[u][b] = out[u][b], out[u][a]
+		}
+	}
+	return out
+}
+
+// SlotResult is one slot's outcome under the three planning regimes.
+type SlotResult struct {
+	Slot int
+	// Replan is the cost when Algorithm 1 re-optimizes caches and routing
+	// for the slot's demand; CacheChanges counts the content placements
+	// that differ from the previous slot (the refresh traffic re-planning
+	// causes).
+	Replan       float64
+	CacheChanges int
+	// Static is the cost when the slot-0 caches are kept and only the
+	// routing re-optimizes (caching is the slow, expensive decision;
+	// routing adapts per slot for free).
+	Static float64
+	// LRFU is the online baseline replayed against the slot's demand with
+	// its caches carried over from the previous slot's replay.
+	LRFU float64
+}
+
+// StudyResult aggregates a churn study.
+type StudyResult struct {
+	Slots []SlotResult
+	// TotalReplan/Static/LRFU are horizon sums; TotalCacheChanges counts
+	// every placement change the re-planning regime made after slot 0.
+	TotalReplan, TotalStatic, TotalLRFU float64
+	TotalCacheChanges                   int
+}
+
+// RunChurnStudy executes the study on the given base instance.
+func RunChurnStudy(base *model.Instance, churn ChurnConfig, sub core.SubproblemConfig) (*StudyResult, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if err := churn.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(churn.Seed))
+
+	res := &StudyResult{}
+	demand := base.Demand
+	var prevCache *model.CachingPolicy
+	var staticCache *model.CachingPolicy
+	for slot := 0; slot < churn.Slots; slot++ {
+		if slot > 0 {
+			demand = EvolveDemand(demand, churn.SwapsPerSlot, rng)
+		}
+		inst := base.Clone()
+		inst.Demand = demand
+		if len(churn.SlotScale) > 0 {
+			scaled, err := trace.ScaleDemand(demand, churn.SlotScale[slot])
+			if err != nil {
+				return nil, err
+			}
+			inst.Demand = scaled
+		}
+
+		// Re-planning regime: full Algorithm 1 on the slot's demand.
+		coord, err := core.NewCoordinator(inst, core.Config{Sub: sub})
+		if err != nil {
+			return nil, err
+		}
+		replan, err := coord.Run()
+		if err != nil {
+			return nil, err
+		}
+		slotRes := SlotResult{Slot: slot, Replan: replan.Solution.Cost.Total}
+		if prevCache != nil {
+			slotRes.CacheChanges = cacheDiff(prevCache, replan.Solution.Caching)
+		}
+		prevCache = replan.Solution.Caching
+
+		// Static regime: slot-0 caches, fresh routing.
+		if staticCache == nil {
+			staticCache = replan.Solution.Caching
+			slotRes.Static = slotRes.Replan
+		} else {
+			routing, err := baseline.GreedyRouting(inst, staticCache)
+			if err != nil {
+				return nil, err
+			}
+			slotRes.Static = model.TotalServingCost(inst, routing).Total
+		}
+
+		// LRFU regime: fresh online replay per slot (its caches would
+		// carry over in a long-running system; the per-slot replay is the
+		// conservative approximation that favors LRFU by skipping the
+		// adjustment transient only on slot 0).
+		lrfu, err := baseline.PlanLRFU(inst, baseline.LRFUConfig{Seed: churn.Seed + int64(slot)})
+		if err != nil {
+			return nil, err
+		}
+		slotRes.LRFU = lrfu.OnlineCost.Total
+
+		res.Slots = append(res.Slots, slotRes)
+		res.TotalReplan += slotRes.Replan
+		res.TotalStatic += slotRes.Static
+		res.TotalLRFU += slotRes.LRFU
+		res.TotalCacheChanges += slotRes.CacheChanges
+	}
+	return res, nil
+}
+
+// cacheDiff counts placements present in exactly one of the two policies.
+func cacheDiff(a, b *model.CachingPolicy) int {
+	diff := 0
+	for n := range a.Cache {
+		for f := range a.Cache[n] {
+			if a.Cache[n][f] != b.Cache[n][f] {
+				diff++
+			}
+		}
+	}
+	return diff
+}

@@ -1,0 +1,192 @@
+package dynamic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgecache/internal/core"
+	"edgecache/internal/model"
+	"edgecache/internal/trace"
+)
+
+func testInstance(rng *rand.Rand) *model.Instance {
+	const n, u, f = 3, 8, 12
+	inst := &model.Instance{
+		N: n, U: u, F: f,
+		Demand:    make([][]float64, u),
+		Links:     make([][]bool, n),
+		CacheCap:  []int{4, 4, 4},
+		Bandwidth: []float64{60, 60, 60},
+		EdgeCost:  make([][]float64, n),
+		BSCost:    make([]float64, u),
+	}
+	for i := 0; i < u; i++ {
+		inst.Demand[i] = make([]float64, f)
+		for j := 0; j < f; j++ {
+			if rng.Float64() < 0.7 {
+				inst.Demand[i][j] = rng.Float64() * 15
+			}
+		}
+		inst.BSCost[i] = 100 + rng.Float64()*50
+	}
+	for i := 0; i < n; i++ {
+		inst.Links[i] = make([]bool, u)
+		inst.EdgeCost[i] = make([]float64, u)
+		for j := 0; j < u; j++ {
+			inst.Links[i][j] = rng.Float64() < 0.6
+			inst.EdgeCost[i][j] = 1
+		}
+	}
+	return inst
+}
+
+func TestEvolveDemandConservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst := testInstance(rng)
+	var before float64
+	for _, row := range inst.Demand {
+		for _, v := range row {
+			before += v
+		}
+	}
+	evolved := EvolveDemand(inst.Demand, 10, rng)
+	var after float64
+	for _, row := range evolved {
+		for _, v := range row {
+			after += v
+		}
+	}
+	if math.Abs(before-after) > 1e-9 {
+		t.Errorf("mass changed: %v → %v", before, after)
+	}
+	// The original must be untouched.
+	var orig float64
+	for _, row := range inst.Demand {
+		for _, v := range row {
+			orig += v
+		}
+	}
+	if orig != before {
+		t.Error("EvolveDemand mutated its input")
+	}
+}
+
+func TestEvolveDemandZeroSwapsIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := testInstance(rng)
+	evolved := EvolveDemand(inst.Demand, 0, rng)
+	for u := range evolved {
+		for f := range evolved[u] {
+			if evolved[u][f] != inst.Demand[u][f] {
+				t.Fatal("zero swaps changed the demand")
+			}
+		}
+	}
+}
+
+func TestEvolveDemandDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if got := EvolveDemand(nil, 5, rng); len(got) != 0 {
+		t.Error("nil demand should stay empty")
+	}
+	one := [][]float64{{7}}
+	if got := EvolveDemand(one, 5, rng); got[0][0] != 7 {
+		t.Error("single-content demand must be invariant")
+	}
+}
+
+func TestRunChurnStudyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inst := testInstance(rng)
+	if _, err := RunChurnStudy(inst, ChurnConfig{Slots: 0}, core.DefaultSubproblemConfig()); err == nil {
+		t.Error("zero slots: want error")
+	}
+	if _, err := RunChurnStudy(inst, ChurnConfig{Slots: 1, SwapsPerSlot: -1}, core.DefaultSubproblemConfig()); err == nil {
+		t.Error("negative swaps: want error")
+	}
+	if _, err := RunChurnStudy(&model.Instance{N: 0}, ChurnConfig{Slots: 1}, core.DefaultSubproblemConfig()); err == nil {
+		t.Error("invalid instance: want error")
+	}
+}
+
+func TestRunChurnStudyNoChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := testInstance(rng)
+	res, err := RunChurnStudy(inst, ChurnConfig{Slots: 3, SwapsPerSlot: 0, Seed: 6}, core.DefaultSubproblemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slots) != 3 {
+		t.Fatalf("slots = %d, want 3", len(res.Slots))
+	}
+	// Frozen workload: re-planning changes nothing and matches static.
+	if res.TotalCacheChanges != 0 {
+		t.Errorf("cache changes without churn = %d, want 0", res.TotalCacheChanges)
+	}
+	for _, s := range res.Slots {
+		if math.Abs(s.Replan-s.Static) > 1e-6*(1+s.Replan) {
+			t.Errorf("slot %d: replan %v != static %v without churn", s.Slot, s.Replan, s.Static)
+		}
+	}
+}
+
+func TestRunChurnStudyDiurnal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := testInstance(rng)
+	scale, err := trace.DiurnalProfile(4, 0.5, 1.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunChurnStudy(inst, ChurnConfig{
+		Slots: 4, SwapsPerSlot: 0, SlotScale: scale, Seed: 10,
+	}, core.DefaultSubproblemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand scale varies across slots, so so must the replan cost (the
+	// no-churn invariance only holds at constant load).
+	allEqual := true
+	for _, s := range res.Slots[1:] {
+		if math.Abs(s.Replan-res.Slots[0].Replan) > 1e-6 {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Error("diurnal load produced identical per-slot costs")
+	}
+	// Validation errors.
+	if _, err := RunChurnStudy(inst, ChurnConfig{Slots: 4, SlotScale: []float64{1}}, core.DefaultSubproblemConfig()); err == nil {
+		t.Error("short SlotScale: want error")
+	}
+	if _, err := RunChurnStudy(inst, ChurnConfig{Slots: 1, SlotScale: []float64{-1}}, core.DefaultSubproblemConfig()); err == nil {
+		t.Error("negative SlotScale: want error")
+	}
+}
+
+func TestRunChurnStudyWithChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := testInstance(rng)
+	res, err := RunChurnStudy(inst, ChurnConfig{Slots: 5, SwapsPerSlot: 6, Seed: 8}, core.DefaultSubproblemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-planning can never lose to keeping stale caches (same routing
+	// optimizer, superset of choices) beyond solver tie noise, per slot.
+	for _, s := range res.Slots {
+		if s.Replan > s.Static*1.02+1e-6 {
+			t.Errorf("slot %d: replan %v worse than static %v", s.Slot, s.Replan, s.Static)
+		}
+	}
+	if res.TotalReplan > res.TotalStatic+1e-6 {
+		t.Errorf("total replan %v worse than static %v", res.TotalReplan, res.TotalStatic)
+	}
+	// Churn must actually force cache updates.
+	if res.TotalCacheChanges == 0 {
+		t.Error("churned workload produced no cache changes")
+	}
+	// Slot 0 has no previous policy to diff against.
+	if res.Slots[0].CacheChanges != 0 {
+		t.Error("slot 0 reported cache changes")
+	}
+}

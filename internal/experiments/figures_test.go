@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestDefaultScenarioBuild(t *testing.T) {
+	inst, err := DefaultScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.N != 3 || inst.U != 30 || inst.F != 50 {
+		t.Errorf("dimensions = %d/%d/%d, want 3/30/50", inst.N, inst.U, inst.F)
+	}
+	if got := inst.LinkCount(); got != 40 {
+		t.Errorf("links = %d, want 40", got)
+	}
+	// TargetDemand calibration: total demand ≈ 4500.
+	if total := inst.TotalDemand(); total < 4400 || total > 4600 {
+		t.Errorf("total demand = %v, want ≈4500", total)
+	}
+	for n := 0; n < inst.N; n++ {
+		if inst.CacheCap[n] != 10 || inst.Bandwidth[n] != 1000 {
+			t.Errorf("SBS %d: cap=%d bw=%v", n, inst.CacheCap[n], inst.Bandwidth[n])
+		}
+	}
+	for u := 0; u < inst.U; u++ {
+		if inst.BSCost[u] < 100 || inst.BSCost[u] > 150 {
+			t.Errorf("BSCost[%d] = %v outside [100,150]", u, inst.BSCost[u])
+		}
+		for n := 0; n < inst.N; n++ {
+			if inst.EdgeCost[n][u] != 1 {
+				t.Errorf("EdgeCost[%d][%d] = %v, want 1", n, u, inst.EdgeCost[n][u])
+			}
+		}
+	}
+}
+
+func TestScenarioBuildErrors(t *testing.T) {
+	sc := DefaultScenario()
+	sc.SBSs = 0
+	if _, err := sc.Build(); err == nil {
+		t.Error("zero SBSs: want error")
+	}
+	sc = DefaultScenario()
+	sc.TargetDemand = 0
+	if _, err := sc.Build(); err == nil {
+		t.Error("zero TargetDemand: want error")
+	}
+	sc = DefaultScenario()
+	sc.LinkCount = 10 * 10 * 10
+	if _, err := sc.Build(); err == nil {
+		t.Error("too many links: want error")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	a, err := DefaultScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalDemand() != b.TotalDemand() || a.LinkCount() != b.LinkCount() {
+		t.Error("same seed built different instances")
+	}
+	sc := DefaultScenario()
+	sc.Seed = 2
+	c, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalDemand() == c.TotalDemand() {
+		t.Error("different seeds built identical demand")
+	}
+}
+
+func TestFig2Table(t *testing.T) {
+	h := DefaultHarness()
+	tb, err := h.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 20 {
+		t.Errorf("rows = %d, want 20", tb.NumRows())
+	}
+	if !strings.Contains(tb.String(), "Fig. 2") {
+		t.Error("missing title")
+	}
+}
+
+// quickHarness is a cut-down harness for test speed: one seed, smaller
+// catalog and fewer dual iterations.
+func quickHarness() Harness {
+	h := DefaultHarness()
+	h.Seeds = []int64{1}
+	h.Base.Videos = 20
+	h.Base.Groups = 12
+	h.Base.LinkCount = 16
+	h.Base.CachePerSBS = 5
+	h.Base.Bandwidth = 400
+	h.Base.TargetDemand = 1800
+	h.Sub.DualIters = 25
+	return h
+}
+
+func TestFig3Quick(t *testing.T) {
+	h := quickHarness()
+	tb, err := h.Fig3([]float64{0.01, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tb.NumRows())
+	}
+	// Column order: epsilon, LPPM, Optimum, LRFU, gap.
+	parse := func(row, col int) float64 {
+		var v float64
+		if _, err := fmtSscan(tb.Cell(row, col), &v); err != nil {
+			t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tb.Cell(row, col), err)
+		}
+		return v
+	}
+	lowEpsLPPM, highEpsLPPM := parse(0, 1), parse(1, 1)
+	optimum := parse(0, 2)
+	if lowEpsLPPM < optimum-1e-6 {
+		t.Errorf("LPPM (%v) below optimum (%v)", lowEpsLPPM, optimum)
+	}
+	if highEpsLPPM > lowEpsLPPM+1e-6 {
+		t.Errorf("cost at ε=100 (%v) should not exceed cost at ε=0.01 (%v)", highEpsLPPM, lowEpsLPPM)
+	}
+	// The optimum column is ε-independent.
+	if parse(0, 2) != parse(1, 2) {
+		t.Error("optimum varies with ε")
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	h := quickHarness()
+	tb, err := h.Fig4([]int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	h := quickHarness()
+	tb, err := h.Fig5([]int{8, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More links must not increase the optimum cost.
+	var low, high float64
+	if _, err := fmtSscan(tb.Cell(0, 2), &low); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tb.Cell(1, 2), &high); err != nil {
+		t.Fatal(err)
+	}
+	if high > low+1e-6 {
+		t.Errorf("optimum with 30 links (%v) exceeds optimum with 8 links (%v)", high, low)
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	h := quickHarness()
+	tb, err := h.Fig6([]float64{100, 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var low, high float64
+	if _, err := fmtSscan(tb.Cell(0, 2), &low); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tb.Cell(1, 2), &high); err != nil {
+		t.Fatal(err)
+	}
+	if high > low+1e-6 {
+		t.Errorf("optimum at bandwidth 1200 (%v) exceeds optimum at 100 (%v)", high, low)
+	}
+}
+
+func TestConvergenceTable(t *testing.T) {
+	h := quickHarness()
+	tb, err := h.Convergence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() == 0 {
+		t.Error("empty convergence table")
+	}
+}
+
+func TestOptimalityGapTable(t *testing.T) {
+	h := quickHarness()
+	tb, err := h.OptimalityGap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tb.NumRows())
+	}
+	for row := 0; row < tb.NumRows(); row++ {
+		var gap float64
+		if _, err := fmtSscan(tb.Cell(row, 3), &gap); err != nil {
+			t.Fatal(err)
+		}
+		if gap < -1e-6 {
+			t.Errorf("row %d: negative gap %v — distributed beat the exact optimum", row, gap)
+		}
+	}
+}
+
+// fmtSscan parses a rendered numeric cell.
+func fmtSscan(s string, v *float64) (int, error) {
+	parsed, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	*v = parsed
+	return 1, nil
+}

@@ -1,0 +1,200 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualsKnownLP(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+	// Classic textbook duals: y1=0 (x ≤ 4 slack), y2=1.5, y3=1.
+	p := NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{3, 5}
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	sol := requireOptimal(t, p)
+	want := []float64{0, 1.5, 1}
+	if len(sol.Duals) != 3 {
+		t.Fatalf("Duals length = %d, want 3", len(sol.Duals))
+	}
+	for i := range want {
+		if !almostEqual(sol.Duals[i], want[i]) {
+			t.Errorf("dual[%d] = %v, want %v", i, sol.Duals[i], want[i])
+		}
+	}
+}
+
+func TestDualsMinimizationGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10 (binding) → dual = marginal cost of one
+	// extra unit of requirement = 2 (cheapest variable fills it).
+	p := NewProblem(2)
+	p.Obj = []float64{2, 3}
+	p.AddConstraint([]float64{1, 1}, GE, 10)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.Duals[0], 2) {
+		t.Errorf("dual = %v, want 2", sol.Duals[0])
+	}
+}
+
+func TestDualsEqualityConstraint(t *testing.T) {
+	// min x + 2y s.t. x + y = 5, x ≤ 3 → x=3, y=2. Raising the RHS to 6
+	// forces one more unit of y: dual = 2.
+	p := NewProblem(2)
+	p.Obj = []float64{1, 2}
+	p.AddConstraint([]float64{1, 1}, EQ, 5)
+	p.SetBounds(0, 0, 3)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.Duals[0], 2) {
+		t.Errorf("equality dual = %v, want 2", sol.Duals[0])
+	}
+}
+
+func TestDualsNegativeRHS(t *testing.T) {
+	// min x + y, x,y ∈ [-5, 5] free-ish, x + y ≥ -4 binding → dual 1.
+	p := NewProblem(2)
+	p.Obj = []float64{1, 1}
+	p.SetBounds(0, -5, 5)
+	p.SetBounds(1, -2, 2)
+	p.AddConstraint([]float64{1, 1}, GE, -4)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.Duals[0], 1) {
+		t.Errorf("dual = %v, want 1", sol.Duals[0])
+	}
+}
+
+func TestDualsNonBindingIsZero(t *testing.T) {
+	p := NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.SetBounds(0, 0, 2)
+	p.AddConstraint([]float64{1}, LE, 100) // slack: dual 0
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.Duals[0], 0) {
+		t.Errorf("non-binding dual = %v, want 0", sol.Duals[0])
+	}
+}
+
+func TestMILPDualsNil(t *testing.T) {
+	p := NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.SetBounds(0, 0, 2.5)
+	p.MarkInteger(0)
+	p.AddConstraint([]float64{1}, LE, 2.2)
+	sol, err := SolveMILP(p, MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Duals != nil {
+		t.Error("MILP solution should not carry LP duals")
+	}
+}
+
+// TestDualsFiniteDifferenceProperty verifies the shadow-price semantics on
+// random LPs: perturbing a constraint's RHS by ±h changes the optimum by
+// ≈ dual·(±h). Degenerate optima have one-sided shadow prices, so cases
+// where the forward and backward differences disagree are skipped.
+func TestDualsFiniteDifferenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	checked := 0
+	for trial := 0; trial < 200 && checked < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		p := NewProblem(n)
+		p.Maximize = rng.Intn(2) == 0
+		for j := 0; j < n; j++ {
+			p.Obj[j] = rng.Float64()*10 - 5
+			p.SetBounds(j, 0, 1+rng.Float64()*3)
+		}
+		rows := 1 + rng.Intn(3)
+		for r := 0; r < rows; r++ {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = rng.Float64() * 4
+			}
+			p.AddConstraint(coef, LE, 1+rng.Float64()*8)
+		}
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			continue
+		}
+		target := rng.Intn(rows)
+		const h = 1e-5
+		perturb := func(d float64) (float64, bool) {
+			q := p.cloneShallow()
+			cons := append([]Constraint(nil), p.Cons...)
+			cons[target] = Constraint{
+				Coef: p.Cons[target].Coef,
+				Rel:  p.Cons[target].Rel,
+				RHS:  p.Cons[target].RHS + d,
+			}
+			q.Cons = cons
+			s, err := Solve(q)
+			if err != nil || s.Status != Optimal {
+				return 0, false
+			}
+			return s.Objective, true
+		}
+		up, okUp := perturb(h)
+		down, okDown := perturb(-h)
+		if !okUp || !okDown {
+			continue
+		}
+		fwd := (up - sol.Objective) / h
+		bwd := (sol.Objective - down) / h
+		if math.Abs(fwd-bwd) > 1e-3*(1+math.Abs(fwd)) {
+			continue // degenerate: one-sided shadow price
+		}
+		checked++
+		if math.Abs(fwd-sol.Duals[target]) > 1e-3*(1+math.Abs(fwd)) {
+			t.Errorf("trial %d: dual[%d] = %v, finite difference = %v",
+				trial, target, sol.Duals[target], fwd)
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d non-degenerate cases checked; generator too degenerate", checked)
+	}
+}
+
+// TestStrongDualityOnStandardLPs: for LPs with default bounds [0, ∞) the
+// dual objective Σ y_i·b_i must equal the primal optimum (strong duality;
+// variable bounds carry no extra duals in this family).
+func TestStrongDualityOnStandardLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	checked := 0
+	for trial := 0; trial < 100 && checked < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		p := NewProblem(n)
+		// Minimize positive costs over covering constraints: bounded and
+		// feasible with default [0, ∞) bounds.
+		for j := 0; j < n; j++ {
+			p.Obj[j] = 1 + rng.Float64()*9
+		}
+		rows := 1 + rng.Intn(3)
+		for r := 0; r < rows; r++ {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = rng.Float64() * 4
+			}
+			coef[rng.Intn(n)] += 0.5 // ensure the row is satisfiable
+			p.AddConstraint(coef, GE, 1+rng.Float64()*6)
+		}
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			continue
+		}
+		checked++
+		var dualObj float64
+		for i, c := range p.Cons {
+			dualObj += sol.Duals[i] * c.RHS
+		}
+		if math.Abs(dualObj-sol.Objective) > 1e-6*(1+math.Abs(sol.Objective)) {
+			t.Errorf("trial %d: dual objective %v != primal %v", trial, dualObj, sol.Objective)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d cases checked", checked)
+	}
+}

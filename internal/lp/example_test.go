@@ -1,0 +1,52 @@
+package lp_test
+
+import (
+	"fmt"
+	"log"
+
+	"edgecache/internal/lp"
+)
+
+// Example solves a small production-planning LP and reads both the primal
+// solution and the shadow prices.
+func Example() {
+	// max 3x + 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0.
+	p := lp.NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{3, 5}
+	p.AddConstraint([]float64{1, 0}, lp.LE, 4)
+	p.AddConstraint([]float64{0, 2}, lp.LE, 12)
+	p.AddConstraint([]float64{3, 2}, lp.LE, 18)
+
+	sol, err := lp.Solve(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("status: %v\n", sol.Status)
+	fmt.Printf("objective: %.0f at x=%.0f y=%.0f\n", sol.Objective, sol.X[0], sol.X[1])
+	fmt.Printf("shadow prices: %.1f %.1f %.1f\n", sol.Duals[0], sol.Duals[1], sol.Duals[2])
+	// Output:
+	// status: optimal
+	// objective: 36 at x=2 y=6
+	// shadow prices: 0.0 1.5 1.0
+}
+
+// ExampleSolveMILP solves a binary knapsack exactly.
+func ExampleSolveMILP() {
+	p := lp.NewProblem(3)
+	p.Maximize = true
+	p.Obj = []float64{10, 13, 7}
+	p.AddConstraint([]float64{3, 4, 2}, lp.LE, 6)
+	for j := 0; j < 3; j++ {
+		p.SetBounds(j, 0, 1)
+		p.MarkInteger(j)
+	}
+	sol, err := lp.SolveMILP(p, lp.MILPOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best value %.0f picking items %.0f %.0f %.0f\n",
+		sol.Objective, sol.X[0], sol.X[1], sol.X[2])
+	// Output:
+	// best value 20 picking items 0 1 1
+}

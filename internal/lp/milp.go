@@ -1,0 +1,166 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// MILPOptions tunes the branch-and-bound search.
+type MILPOptions struct {
+	// MaxNodes bounds the number of explored branch-and-bound nodes.
+	// 0 means the default (100000).
+	MaxNodes int
+	// IntTol is the integrality tolerance: a value within IntTol of an
+	// integer is considered integral. 0 means the default (1e-6).
+	IntTol float64
+	// Gap is the relative optimality gap at which search stops early.
+	// 0 means prove optimality exactly (up to tolerances).
+	Gap float64
+}
+
+func (o MILPOptions) withDefaults() MILPOptions {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 100000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// SolveMILP solves p with the Integer flags enforced, by LP-relaxation
+// branch and bound (depth-first, most-fractional branching, incumbent
+// pruning). It is intended for the repository's small verification
+// instances, not for industrial MILPs.
+func SolveMILP(p *Problem, opts MILPOptions) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if p.Integer == nil {
+		return Solve(p)
+	}
+
+	root := p.cloneShallow()
+	var incumbent *Solution
+	nodes := 0
+	worse := func(a, b float64) bool { // is a worse than b for this sense?
+		if p.Maximize {
+			return a <= b+1e-12
+		}
+		return a >= b-1e-12
+	}
+
+	var visit func(node *Problem) error
+	visit = func(node *Problem) error {
+		if nodes >= opts.MaxNodes {
+			return fmt.Errorf("lp: branch-and-bound node budget (%d) exhausted", opts.MaxNodes)
+		}
+		nodes++
+		rel, err := Solve(node)
+		if err != nil {
+			return err
+		}
+		switch rel.Status {
+		case Infeasible:
+			return nil
+		case Unbounded:
+			// An unbounded relaxation at the root means the MILP is
+			// unbounded or infeasible; bounds added by branching cannot
+			// cause it, so surface it.
+			return errUnbounded
+		case IterLimit:
+			return fmt.Errorf("lp: simplex iteration limit inside branch-and-bound")
+		}
+		if incumbent != nil && worse(rel.Objective, incumbent.Objective) {
+			return nil // bound: relaxation cannot beat the incumbent
+		}
+		if incumbent != nil && opts.Gap > 0 {
+			gap := math.Abs(rel.Objective-incumbent.Objective) / (1e-12 + math.Abs(incumbent.Objective))
+			if gap <= opts.Gap {
+				return nil
+			}
+		}
+
+		// Find the most fractional integer variable.
+		branchVar, bestFrac := -1, opts.IntTol
+		for j := 0; j < p.NumVars; j++ {
+			if !p.integer(j) {
+				continue
+			}
+			frac := math.Abs(rel.X[j] - math.Round(rel.X[j]))
+			if frac > bestFrac {
+				bestFrac = frac
+				branchVar = j
+			}
+		}
+		if branchVar == -1 {
+			// Integral: round off the tolerance and accept as incumbent.
+			x := append([]float64(nil), rel.X...)
+			obj := 0.0
+			for j := range x {
+				if p.integer(j) {
+					x[j] = math.Round(x[j])
+				}
+				obj += p.Obj[j] * x[j]
+			}
+			if incumbent == nil || !worse(obj, incumbent.Objective) {
+				incumbent = &Solution{Status: Optimal, X: x, Objective: obj}
+			}
+			return nil
+		}
+
+		v := rel.X[branchVar]
+		floorV, ceilV := math.Floor(v), math.Ceil(v)
+		lo, hi := node.lower(branchVar), node.upper(branchVar)
+
+		// Down branch: x ≤ floor(v). Skip when it would empty the domain.
+		if floorV >= lo {
+			down := node.cloneShallow()
+			down.SetBounds(branchVar, lo, floorV)
+			if err := visit(down); err != nil {
+				return err
+			}
+		}
+		// Up branch: x ≥ ceil(v).
+		if ceilV <= hi {
+			up := node.cloneShallow()
+			up.SetBounds(branchVar, ceilV, hi)
+			return visit(up)
+		}
+		return nil
+	}
+
+	if err := visit(root); err != nil {
+		if err == errUnbounded {
+			return &Solution{Status: Unbounded}, nil
+		}
+		return nil, err
+	}
+	if incumbent == nil {
+		return &Solution{Status: Infeasible}, nil
+	}
+	return incumbent, nil
+}
+
+var errUnbounded = fmt.Errorf("lp: unbounded relaxation")
+
+// cloneShallow copies the problem with fresh bound slices (so branching can
+// tighten bounds) while sharing the constraint and objective storage, which
+// branch and bound never mutates.
+func (p *Problem) cloneShallow() *Problem {
+	q := &Problem{
+		NumVars:  p.NumVars,
+		Obj:      p.Obj,
+		Maximize: p.Maximize,
+		Cons:     p.Cons,
+		Integer:  p.Integer,
+	}
+	if p.Lower != nil {
+		q.Lower = append([]float64(nil), p.Lower...)
+	}
+	if p.Upper != nil {
+		q.Upper = append([]float64(nil), p.Upper...)
+	}
+	return q
+}

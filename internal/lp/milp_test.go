@@ -1,0 +1,305 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func requireMILP(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := SolveMILP(p, MILPOptions{})
+	if err != nil {
+		t.Fatalf("SolveMILP: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func TestMILPKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c, 3a + 4b + 2c ≤ 6, binary → a=c=1 (obj 17)
+	// beats b+c (20? 13+7=20, weight 6 feasible!) — check: b+c weight 4+2=6 ≤ 6,
+	// value 20. Optimum is 20.
+	p := NewProblem(3)
+	p.Maximize = true
+	p.Obj = []float64{10, 13, 7}
+	p.AddConstraint([]float64{3, 4, 2}, LE, 6)
+	for j := 0; j < 3; j++ {
+		p.SetBounds(j, 0, 1)
+		p.MarkInteger(j)
+	}
+	sol := requireMILP(t, p)
+	if !almostEqual(sol.Objective, 20) {
+		t.Errorf("objective = %v, want 20", sol.Objective)
+	}
+	if math.Round(sol.X[1]) != 1 || math.Round(sol.X[2]) != 1 {
+		t.Errorf("X = %v, want items 1 and 2 selected", sol.X)
+	}
+}
+
+func TestMILPIntegerRounding(t *testing.T) {
+	// max x s.t. 2x ≤ 7, x integer → 3 (LP gives 3.5).
+	p := NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]float64{2}, LE, 7)
+	p.MarkInteger(0)
+	sol := requireMILP(t, p)
+	if !almostEqual(sol.Objective, 3) {
+		t.Errorf("objective = %v, want 3", sol.Objective)
+	}
+}
+
+func TestMILPMixed(t *testing.T) {
+	// max 3x + 2y, x integer, y continuous; x + y ≤ 4.5, x ≤ 3.2.
+	// x = 3, y = 1.5 → 12.
+	p := NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{3, 2}
+	p.AddConstraint([]float64{1, 1}, LE, 4.5)
+	p.AddConstraint([]float64{1, 0}, LE, 3.2)
+	p.MarkInteger(0)
+	sol := requireMILP(t, p)
+	if !almostEqual(sol.Objective, 12) {
+		t.Errorf("objective = %v, want 12", sol.Objective)
+	}
+	if !almostEqual(sol.X[0], 3) || !almostEqual(sol.X[1], 1.5) {
+		t.Errorf("X = %v, want [3 1.5]", sol.X)
+	}
+}
+
+func TestMILPInfeasible(t *testing.T) {
+	// 0.4 ≤ x ≤ 0.6, x integer: no integer point.
+	p := NewProblem(1)
+	p.Obj = []float64{1}
+	p.SetBounds(0, 0.4, 0.6)
+	p.MarkInteger(0)
+	sol, err := SolveMILP(p, MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestMILPUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.MarkInteger(0)
+	sol, err := SolveMILP(p, MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestMILPNoIntegerFallsBackToLP(t *testing.T) {
+	p := NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.SetBounds(0, 0, 2.5)
+	sol := requireMILP(t, p)
+	if !almostEqual(sol.Objective, 2.5) {
+		t.Errorf("objective = %v, want 2.5", sol.Objective)
+	}
+}
+
+func TestMILPNodeBudget(t *testing.T) {
+	// A problem requiring branching with a budget of 1 node must error.
+	p := NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{1, 1}
+	p.AddConstraint([]float64{2, 2}, LE, 3)
+	p.SetBounds(0, 0, 1)
+	p.SetBounds(1, 0, 1)
+	p.MarkInteger(0)
+	p.MarkInteger(1)
+	if _, err := SolveMILP(p, MILPOptions{MaxNodes: 1}); err == nil {
+		t.Fatal("want node-budget error")
+	}
+}
+
+func TestMILPValidationError(t *testing.T) {
+	if _, err := SolveMILP(&Problem{NumVars: 0}, MILPOptions{}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+// bruteForceBinary enumerates all 0/1 assignments and returns the best
+// objective of the feasible ones, or NaN if none is feasible.
+func bruteForceBinary(p *Problem) float64 {
+	n := p.NumVars
+	best := math.NaN()
+	x := make([]float64, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for j := 0; j < n; j++ {
+			x[j] = float64((mask >> j) & 1)
+		}
+		feasible := true
+		for _, c := range p.Cons {
+			var lhs float64
+			for j, v := range c.Coef {
+				lhs += v * x[j]
+			}
+			switch c.Rel {
+			case LE:
+				feasible = lhs <= c.RHS+1e-9
+			case GE:
+				feasible = lhs >= c.RHS-1e-9
+			case EQ:
+				feasible = math.Abs(lhs-c.RHS) <= 1e-9
+			}
+			if !feasible {
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		var obj float64
+		for j := range x {
+			obj += p.Obj[j] * x[j]
+		}
+		if math.IsNaN(best) || (p.Maximize && obj > best) || (!p.Maximize && obj < best) {
+			best = obj
+		}
+	}
+	return best
+}
+
+// Property: branch-and-bound matches exhaustive enumeration on random
+// binary programs with random ≤ constraints.
+func TestMILPMatchesBruteForceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7) // 2..8 binary vars
+		p := NewProblem(n)
+		p.Maximize = rng.Intn(2) == 0
+		for j := 0; j < n; j++ {
+			p.Obj[j] = math.Round(rng.Float64()*40 - 20)
+			p.SetBounds(j, 0, 1)
+			p.MarkInteger(j)
+		}
+		rows := 1 + rng.Intn(3)
+		for r := 0; r < rows; r++ {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = math.Round(rng.Float64() * 10)
+			}
+			// RHS between 0 and the row sum keeps instances interesting.
+			var sum float64
+			for _, v := range coef {
+				sum += v
+			}
+			p.AddConstraint(coef, LE, math.Round(rng.Float64()*sum))
+		}
+		want := bruteForceBinary(p)
+		sol, err := SolveMILP(p, MILPOptions{})
+		if err != nil {
+			t.Logf("seed %d: SolveMILP error: %v", seed, err)
+			return false
+		}
+		if math.IsNaN(want) {
+			return sol.Status == Infeasible
+		}
+		if sol.Status != Optimal {
+			t.Logf("seed %d: status %v, brute force found %v", seed, sol.Status, want)
+			return false
+		}
+		if math.Abs(sol.Objective-want) > 1e-6*(1+math.Abs(want)) {
+			t.Logf("seed %d: objective %v, brute force %v", seed, sol.Objective, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the LP relaxation bounds the MILP optimum from the right side.
+func TestLPRelaxationBoundsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		p := NewProblem(n)
+		p.Maximize = true
+		for j := 0; j < n; j++ {
+			p.Obj[j] = rng.Float64() * 10
+			p.SetBounds(j, 0, 1)
+			p.MarkInteger(j)
+		}
+		coef := make([]float64, n)
+		for j := range coef {
+			coef[j] = 1 + rng.Float64()*5
+		}
+		p.AddConstraint(coef, LE, rng.Float64()*10)
+		relax, err := Solve(p)
+		if err != nil || relax.Status != Optimal {
+			return false
+		}
+		milp, err := SolveMILP(p, MILPOptions{})
+		if err != nil || milp.Status != Optimal {
+			return false
+		}
+		return milp.Objective <= relax.Objective+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: solutions returned by Solve are always feasible for the
+// declared constraint system, on random feasible-by-construction LPs.
+func TestLPSolutionFeasibilityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		p := NewProblem(n)
+		p.Maximize = rng.Intn(2) == 0
+		for j := 0; j < n; j++ {
+			p.Obj[j] = rng.Float64()*20 - 10
+			p.SetBounds(j, 0, 1+rng.Float64()*4)
+		}
+		// Constraints of the form Σ a·x ≤ b with a ≥ 0, b ≥ 0 keep x=0
+		// feasible, so the LP is never infeasible and never unbounded
+		// (bounded box).
+		rows := rng.Intn(4)
+		for r := 0; r < rows; r++ {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = rng.Float64() * 5
+			}
+			p.AddConstraint(coef, LE, rng.Float64()*20)
+		}
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		for j, v := range sol.X {
+			if v < p.lower(j)-1e-7 || v > p.upper(j)+1e-7 {
+				return false
+			}
+		}
+		for _, c := range p.Cons {
+			var lhs float64
+			for j, v := range c.Coef {
+				lhs += v * sol.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+package lp
+
+import "math"
+
+// run executes phase 1 (drive artificials to zero) and phase 2 (optimize
+// the real objective) and returns the solve status.
+func (s *standard) run() Status {
+	if s.m == 0 {
+		// No constraints: the optimum is at the bounds. Every standard
+		// column is z ≥ 0 with cost c; a negative cost means unbounded
+		// unless the column came from a finite-range variable, in which
+		// case an upper-bound row would exist (m > 0). So any negative
+		// cost here is genuinely unbounded.
+		for j := 0; j < s.n; j++ {
+			if s.c[j] < -costEps {
+				return Unbounded
+			}
+		}
+		return Optimal
+	}
+
+	nTotal := s.n + s.nArt
+
+	// Phase 1: minimize the sum of artificial variables.
+	if s.nArt > 0 {
+		phase1Cost := make([]float64, nTotal)
+		for j := s.n; j < nTotal; j++ {
+			phase1Cost[j] = 1
+		}
+		cRow, objVal := s.reducedCosts(phase1Cost)
+		status := s.iterate(cRow, &objVal, nil)
+		if status != Optimal {
+			return status // IterLimit; phase 1 cannot be unbounded (cost ≥ 0)
+		}
+		if objVal > feasEps {
+			return Infeasible
+		}
+		if !s.driveOutArtificials() {
+			// Could not pivot an artificial out of a nonzero row; with a
+			// zero phase-1 objective this only happens on redundant rows,
+			// which driveOutArtificials handles, so reaching here means
+			// numerical trouble.
+			return IterLimit
+		}
+	}
+
+	// Phase 2: minimize the real objective, with artificials banned.
+	phase2Cost := make([]float64, nTotal)
+	copy(phase2Cost, s.c)
+	banned := make([]bool, nTotal)
+	for j := s.n; j < nTotal; j++ {
+		banned[j] = true
+	}
+	cRow, objVal := s.reducedCosts(phase2Cost)
+	status := s.iterate(cRow, &objVal, banned)
+	if status == Optimal {
+		s.finalCRow = cRow
+	}
+	return status
+}
+
+// extractDuals recovers the shadow price of each original constraint: the
+// derivative of the optimal objective with respect to that constraint's
+// RHS. The dual of standard row i is read from the reduced cost of its
+// auxiliary column (r_aux = c_aux − y_std·a_aux with c_aux = 0, so
+// y_std = −r_aux/a_aux), then adjusted for row negation and for the
+// original problem sense.
+func (s *standard) extractDuals(numCons int) []float64 {
+	if s.finalCRow == nil {
+		// No phase-2 pivoting happened (m == 0): all duals are zero and
+		// there are no constraints anyway.
+		return make([]float64, numCons)
+	}
+	duals := make([]float64, numCons)
+	for i := 0; i < numCons && i < len(s.rowAux); i++ {
+		aux := s.rowAux[i]
+		y := -s.finalCRow[aux.col] / aux.coef
+		if aux.negated {
+			y = -y
+		}
+		if s.maximize {
+			y = -y
+		}
+		duals[i] = y
+	}
+	return duals
+}
+
+// reducedCosts computes the reduced-cost row c_j − c_B·B⁻¹A_j and the
+// current objective value c_B·b for the given cost vector, directly from
+// the (already pivoted) tableau.
+func (s *standard) reducedCosts(cost []float64) ([]float64, float64) {
+	nTotal := s.n + s.nArt
+	cRow := make([]float64, nTotal)
+	copy(cRow, cost)
+	objVal := 0.0
+	for i := 0; i < s.m; i++ {
+		cb := cost[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		objVal += cb * s.b[i]
+		row := s.a[i]
+		for j := 0; j < nTotal; j++ {
+			cRow[j] -= cb * row[j]
+		}
+	}
+	// Basic columns have exactly zero reduced cost by construction; snap
+	// them to avoid noise-driven re-entry.
+	for _, j := range s.basis {
+		cRow[j] = 0
+	}
+	return cRow, objVal
+}
+
+// iterate runs primal simplex pivots until optimality, unboundedness or the
+// iteration budget. It mutates the tableau, basis, cRow and objVal in
+// place. banned columns (artificials in phase 2) never enter the basis.
+// Dantzig's rule is used first; after half the budget it switches to
+// Bland's rule, which guarantees termination on degenerate problems.
+func (s *standard) iterate(cRow []float64, objVal *float64, banned []bool) Status {
+	nTotal := s.n + s.nArt
+	for iter := 0; iter < s.maxIter; iter++ {
+		bland := iter > s.maxIter/2
+
+		// Choose the entering column.
+		enter := -1
+		best := -costEps
+		for j := 0; j < nTotal; j++ {
+			if banned != nil && banned[j] {
+				continue
+			}
+			if cRow[j] < best {
+				if bland {
+					enter = j
+					break
+				}
+				best = cRow[j]
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+
+		// Ratio test: choose the leaving row.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < s.m; i++ {
+			aie := s.a[i][enter]
+			if aie <= pivotEps {
+				continue
+			}
+			ratio := s.b[i] / aie
+			if ratio < bestRatio-pivotEps ||
+				(ratio < bestRatio+pivotEps && (leave == -1 || s.basis[i] < s.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+
+		s.pivot(leave, enter, cRow, objVal)
+	}
+	return IterLimit
+}
+
+// pivot performs a full tableau pivot on (row, col) and updates the reduced
+// cost row and objective value.
+func (s *standard) pivot(row, col int, cRow []float64, objVal *float64) {
+	nTotal := s.n + s.nArt
+	prow := s.a[row]
+	inv := 1 / prow[col]
+	for j := 0; j < nTotal; j++ {
+		prow[j] *= inv
+	}
+	prow[col] = 1 // exact
+	s.b[row] *= inv
+
+	for i := 0; i < s.m; i++ {
+		if i == row {
+			continue
+		}
+		factor := s.a[i][col]
+		if factor == 0 {
+			continue
+		}
+		target := s.a[i]
+		for j := 0; j < nTotal; j++ {
+			target[j] -= factor * prow[j]
+		}
+		target[col] = 0 // exact
+		s.b[i] -= factor * s.b[row]
+		if s.b[i] < 0 && s.b[i] > -pivotEps {
+			s.b[i] = 0 // snap tiny negative residuals
+		}
+	}
+
+	factor := cRow[col]
+	if factor != 0 {
+		for j := 0; j < nTotal; j++ {
+			cRow[j] -= factor * prow[j]
+		}
+		cRow[col] = 0
+		*objVal += factor * s.b[row] // cost row decreases by factor·b'
+		// Note: objVal tracks c_B·b; after the basis change the objective
+		// moved by factor·(new b[row]); sign folded into factor above.
+	}
+	s.basis[row] = col
+}
+
+// driveOutArtificials pivots basic artificial variables (necessarily at
+// value ≈ 0 after a feasible phase 1) out of the basis. Rows that have no
+// eligible pivot column are redundant constraints; their artificial stays
+// basic at zero, which is harmless because phase 2 bans artificials from
+// re-entering and the row's b is zero. Returns false only if a basic
+// artificial has a significantly nonzero value, which indicates phase 1 did
+// not actually reach feasibility.
+func (s *standard) driveOutArtificials() bool {
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < s.n {
+			continue
+		}
+		if s.b[i] > feasEps {
+			return false
+		}
+		pivotCol := -1
+		for j := 0; j < s.n; j++ {
+			if math.Abs(s.a[i][j]) > pivotEps {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol == -1 {
+			continue // redundant row
+		}
+		// Pivot without a cost row (values are zero, objective unchanged).
+		zero := make([]float64, s.n+s.nArt)
+		var objVal float64
+		s.pivot(i, pivotCol, zero, &objVal)
+	}
+	return true
+}
+
+// extract maps the basic solution back to the original variable space.
+func (s *standard) extract(p *Problem) []float64 {
+	zStd := make([]float64, s.nStruct)
+	for i, j := range s.basis {
+		if j < s.nStruct {
+			zStd[j] = s.b[i]
+		}
+	}
+	x := make([]float64, p.NumVars)
+	for j := range x {
+		x[j] = math.NaN() // filled below; NaN would indicate a mapping bug
+	}
+	seen := make([]bool, p.NumVars)
+	for cidx, col := range s.cols {
+		v := col.shift + col.sign*zStd[cidx]
+		if seen[col.varIdx] {
+			// Second column of a split free variable: combine.
+			x[col.varIdx] += col.sign * zStd[cidx]
+			continue
+		}
+		x[col.varIdx] = v
+		seen[col.varIdx] = true
+	}
+	// Clamp round-off against the declared bounds.
+	for j := range x {
+		lo, hi := p.lower(j), p.upper(j)
+		if x[j] < lo {
+			x[j] = lo
+		}
+		if x[j] > hi {
+			x[j] = hi
+		}
+	}
+	return x
+}

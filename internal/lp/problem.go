@@ -1,0 +1,219 @@
+// Package lp is a small, dependency-free linear-programming toolkit: a
+// dense two-phase primal simplex solver and a branch-and-bound wrapper for
+// mixed-integer programs.
+//
+// The paper solves its caching and routing sub-problems with PuLP (a Python
+// LP front end over CBC). Go has no comparable optimization ecosystem, so
+// this package is the reproduction's numerical substrate. It targets the
+// modest problem sizes of the edge-caching model (tens to a few hundred
+// variables for the cross-validation instances); it uses a dense tableau
+// and favors clarity and numerical robustness over sparse performance.
+//
+// Every specialised solver in internal/core and internal/baseline has a
+// property test that checks it against this package on randomized small
+// instances, which validates both sides.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int8
+
+// Constraint relations.
+const (
+	LE Rel = iota // ≤
+	GE            // ≥
+	EQ            // =
+)
+
+// String returns the mathematical symbol for the relation.
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Rel(%d)", int8(r))
+	}
+}
+
+// Constraint is one linear constraint Σ Coef[j]·x[j] Rel RHS. Coef must
+// have exactly Problem.NumVars entries.
+type Constraint struct {
+	Coef []float64
+	Rel  Rel
+	RHS  float64
+}
+
+// Problem is a linear (or mixed-integer) program.
+//
+//	minimize (or maximize)  Σ Obj[j]·x[j]
+//	subject to              Cons
+//	                        Lower[j] ≤ x[j] ≤ Upper[j]
+//
+// Lower defaults to 0 and Upper to +Inf when nil. Lower entries may be
+// -Inf (free variables) and Upper entries +Inf. Integer marks variables
+// that SolveMILP must drive to integrality; Solve ignores it (LP
+// relaxation).
+type Problem struct {
+	NumVars  int
+	Obj      []float64
+	Maximize bool
+	Cons     []Constraint
+	Lower    []float64
+	Upper    []float64
+	Integer  []bool
+}
+
+// NewProblem returns a minimization problem with n variables, bounds
+// [0, +Inf) and no constraints.
+func NewProblem(n int) *Problem {
+	return &Problem{NumVars: n, Obj: make([]float64, n)}
+}
+
+// AddConstraint appends Σ coef·x rel rhs. It copies coef.
+func (p *Problem) AddConstraint(coef []float64, rel Rel, rhs float64) {
+	p.Cons = append(p.Cons, Constraint{Coef: append([]float64(nil), coef...), Rel: rel, RHS: rhs})
+}
+
+// SetBounds sets the bounds of variable j, allocating bound slices on first
+// use. Use math.Inf for unbounded sides.
+func (p *Problem) SetBounds(j int, lo, hi float64) {
+	if p.Lower == nil {
+		p.Lower = make([]float64, p.NumVars)
+	}
+	if p.Upper == nil {
+		p.Upper = make([]float64, p.NumVars)
+		for i := range p.Upper {
+			p.Upper[i] = math.Inf(1)
+		}
+	}
+	p.Lower[j] = lo
+	p.Upper[j] = hi
+}
+
+// MarkInteger requires variable j to be integral under SolveMILP.
+func (p *Problem) MarkInteger(j int) {
+	if p.Integer == nil {
+		p.Integer = make([]bool, p.NumVars)
+	}
+	p.Integer[j] = true
+}
+
+// lower and upper return effective bounds with defaults applied.
+func (p *Problem) lower(j int) float64 {
+	if p.Lower == nil {
+		return 0
+	}
+	return p.Lower[j]
+}
+
+func (p *Problem) upper(j int) float64 {
+	if p.Upper == nil {
+		return math.Inf(1)
+	}
+	return p.Upper[j]
+}
+
+func (p *Problem) integer(j int) bool {
+	return p.Integer != nil && p.Integer[j]
+}
+
+// validate checks structural consistency.
+func (p *Problem) validate() error {
+	if p == nil {
+		return errors.New("lp: nil problem")
+	}
+	if p.NumVars <= 0 {
+		return fmt.Errorf("lp: NumVars must be positive, got %d", p.NumVars)
+	}
+	if len(p.Obj) != p.NumVars {
+		return fmt.Errorf("lp: Obj has %d entries, want %d", len(p.Obj), p.NumVars)
+	}
+	if p.Lower != nil && len(p.Lower) != p.NumVars {
+		return fmt.Errorf("lp: Lower has %d entries, want %d", len(p.Lower), p.NumVars)
+	}
+	if p.Upper != nil && len(p.Upper) != p.NumVars {
+		return fmt.Errorf("lp: Upper has %d entries, want %d", len(p.Upper), p.NumVars)
+	}
+	if p.Integer != nil && len(p.Integer) != p.NumVars {
+		return fmt.Errorf("lp: Integer has %d entries, want %d", len(p.Integer), p.NumVars)
+	}
+	for i, c := range p.Cons {
+		if len(c.Coef) != p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coef), p.NumVars)
+		}
+		if math.IsNaN(c.RHS) {
+			return fmt.Errorf("lp: constraint %d has NaN RHS", i)
+		}
+		for j, v := range c.Coef {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: constraint %d coefficient %d = %v", i, j, v)
+			}
+		}
+	}
+	for j := 0; j < p.NumVars; j++ {
+		lo, hi := p.lower(j), p.upper(j)
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+			return fmt.Errorf("lp: variable %d has invalid bounds [%v, %v]", j, lo, hi)
+		}
+		if v := p.Obj[j]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lp: Obj[%d] = %v", j, v)
+		}
+	}
+	return nil
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint system has no solution.
+	Infeasible
+	// Unbounded means the objective is unbounded over the feasible region.
+	Unbounded
+	// IterLimit means the iteration budget was exhausted before
+	// convergence; the solution is not trustworthy.
+	IterLimit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Duals holds one shadow price per entry of Problem.Cons: the rate of
+	// change of the optimal objective per unit increase of that
+	// constraint's RHS, in the problem's own sense (so for a maximization
+	// a binding ≤ resource constraint has a non-negative dual). Only set
+	// by Solve on Optimal; SolveMILP leaves it nil (integer programs have
+	// no LP duals). At degenerate optima the shadow price is one-sided
+	// and the reported value is the one the final simplex basis defines.
+	Duals []float64
+}

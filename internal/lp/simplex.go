@@ -1,0 +1,246 @@
+package lp
+
+import "math"
+
+const (
+	// pivotEps is the smallest pivot magnitude accepted during the ratio
+	// test; smaller entries are treated as zero.
+	pivotEps = 1e-9
+	// costEps is the optimality tolerance on reduced costs.
+	costEps = 1e-9
+	// feasEps is the tolerance used when checking phase-1 feasibility.
+	feasEps = 1e-7
+)
+
+// Solve solves the LP relaxation of p (Integer flags are ignored) with a
+// dense two-phase primal simplex method. The returned solution carries
+// Status Optimal, Infeasible, Unbounded or IterLimit; X and Objective are
+// only meaningful for Optimal.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	std, err := toStandardForm(p)
+	if err != nil {
+		return nil, err
+	}
+	status := std.run()
+	sol := &Solution{Status: status}
+	if status != Optimal {
+		return sol, nil
+	}
+	sol.X = std.extract(p)
+	sol.Objective = 0
+	for j, c := range p.Obj {
+		sol.Objective += c * sol.X[j]
+	}
+	sol.Duals = std.extractDuals(len(p.Cons))
+	return sol, nil
+}
+
+// column describes how one standard-form column maps back to an original
+// variable: x_orig = shift + sign·x_std (plus a paired column for free
+// variables, handled by listing two columns for the same variable).
+type column struct {
+	varIdx int
+	sign   float64
+	shift  float64
+}
+
+// standard is the standard-form tableau: minimize c·z s.t. Az = b, z ≥ 0.
+type standard struct {
+	m, n    int // rows, structural+slack columns (artificials appended after n)
+	nStruct int // structural (transformed-variable) columns
+	a       [][]float64
+	b       []float64
+	c       []float64 // phase-2 costs over the first n columns
+	basis   []int
+	cols    []column // len nStruct: mapping back to original variables
+	nArt    int
+	maxIter int
+
+	// rowAux maps each standard row to the auxiliary column (slack,
+	// surplus or artificial) whose reduced cost recovers the row's dual,
+	// for shadow-price extraction. finalCRow is the phase-2 reduced-cost
+	// row at optimality; maximize records the original problem sense.
+	rowAux    []auxInfo
+	finalCRow []float64
+	maximize  bool
+}
+
+// auxInfo supports dual recovery for one standard-form row.
+type auxInfo struct {
+	// col is the auxiliary column index; coef its coefficient in the row
+	// (+1 slack/artificial, −1 surplus).
+	col  int
+	coef float64
+	// negated records that the row was sign-flipped to make its RHS
+	// non-negative, which flips its dual.
+	negated bool
+}
+
+// toStandardForm rewrites p into equality standard form with non-negative
+// variables: lower bounds are shifted out, upper-bounded-below-unbounded
+// variables are mirrored, free variables are split, finite upper bounds
+// become extra rows, and slack/surplus columns are appended.
+func toStandardForm(p *Problem) (*standard, error) {
+	type row struct {
+		coef []float64
+		rel  Rel
+		rhs  float64
+	}
+
+	// 1. Transform variables.
+	var cols []column
+	var objC []float64
+	colOf := make([][]int, p.NumVars) // original var -> standard columns
+	for j := 0; j < p.NumVars; j++ {
+		lo, hi := p.lower(j), p.upper(j)
+		obj := p.Obj[j]
+		if p.Maximize {
+			obj = -obj
+		}
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			// Free: x = z+ - z-.
+			colOf[j] = []int{len(cols), len(cols) + 1}
+			cols = append(cols, column{j, 1, 0}, column{j, -1, 0})
+			objC = append(objC, obj, -obj)
+		case math.IsInf(lo, -1):
+			// (-Inf, hi]: x = hi - z, z ≥ 0.
+			colOf[j] = []int{len(cols)}
+			cols = append(cols, column{j, -1, hi})
+			objC = append(objC, -obj)
+		default:
+			// [lo, hi]: x = lo + z, z ≥ 0 (hi handled as an extra row).
+			colOf[j] = []int{len(cols)}
+			cols = append(cols, column{j, 1, lo})
+			objC = append(objC, obj)
+		}
+	}
+	nStruct := len(cols)
+
+	// 2. Transform constraints, substituting the variable mapping.
+	var rows []row
+	addRow := func(coefOrig []float64, rel Rel, rhs float64) {
+		coef := make([]float64, nStruct)
+		for j, v := range coefOrig {
+			if v == 0 {
+				continue
+			}
+			for _, cidx := range colOf[j] {
+				coef[cidx] += v * cols[cidx].sign
+				rhs -= v * cols[cidx].shift
+			}
+			// Each shift applies once per original variable; for split free
+			// variables both shifts are zero so double-counting is moot, but
+			// guard correctness by only shifting through the first column.
+			// (Handled above: shifts are zero for the second split column.)
+		}
+		rows = append(rows, row{coef, rel, rhs})
+	}
+	for _, c := range p.Cons {
+		addRow(c.Coef, c.Rel, c.RHS)
+	}
+	// 3. Finite upper bounds on shifted variables become rows z ≤ hi-lo.
+	for j := 0; j < p.NumVars; j++ {
+		lo, hi := p.lower(j), p.upper(j)
+		if math.IsInf(lo, -1) || math.IsInf(hi, 1) {
+			continue // mirrored or row-free cases need no extra row
+		}
+		if hi == lo {
+			// Fixed variable: z = 0; no row needed since z ≥ 0 and we can
+			// force it with an equality row only if some constraint pushes it
+			// up. z ≤ 0 with z ≥ 0 pins it; add the row to be safe.
+			coef := make([]float64, nStruct)
+			coef[colOf[j][0]] = 1
+			rows = append(rows, row{coef, EQ, 0})
+			continue
+		}
+		coef := make([]float64, nStruct)
+		coef[colOf[j][0]] = 1
+		rows = append(rows, row{coef, LE, hi - lo})
+	}
+
+	// 4. Normalize RHS signs and add slack/surplus columns.
+	m := len(rows)
+	negated := make([]bool, m)
+	nSlack := 0
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			negated[i] = true
+			for j := range rows[i].coef {
+				rows[i].coef[j] = -rows[i].coef[j]
+			}
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].rel {
+			case LE:
+				rows[i].rel = GE
+			case GE:
+				rows[i].rel = LE
+			}
+		}
+		if rows[i].rel != EQ {
+			nSlack++
+		}
+	}
+	n := nStruct + nSlack
+
+	std := &standard{
+		m:        m,
+		n:        n,
+		nStruct:  nStruct,
+		a:        make([][]float64, m),
+		b:        make([]float64, m),
+		c:        make([]float64, n),
+		basis:    make([]int, m),
+		cols:     cols,
+		maxIter:  200 * (m + n + 10),
+		rowAux:   make([]auxInfo, m),
+		maximize: p.Maximize,
+	}
+	copy(std.c, objC)
+
+	// 5. Assemble tableau; artificials appended per-row as needed.
+	slackIdx := nStruct
+	var artRows []int
+	for i, r := range rows {
+		rowVec := make([]float64, n) // artificial columns appended later
+		copy(rowVec, r.coef)
+		switch r.rel {
+		case LE:
+			rowVec[slackIdx] = 1
+			std.basis[i] = slackIdx
+			std.rowAux[i] = auxInfo{col: slackIdx, coef: 1, negated: negated[i]}
+			slackIdx++
+		case GE:
+			rowVec[slackIdx] = -1
+			std.rowAux[i] = auxInfo{col: slackIdx, coef: -1, negated: negated[i]}
+			slackIdx++
+			artRows = append(artRows, i)
+		case EQ:
+			// Dual recovered from the artificial column (coef +1),
+			// assigned below once artificial indices are known.
+			std.rowAux[i] = auxInfo{col: -1, coef: 1, negated: negated[i]}
+			artRows = append(artRows, i)
+		}
+		std.a[i] = rowVec
+		std.b[i] = r.rhs
+	}
+	// Append artificial columns.
+	std.nArt = len(artRows)
+	for k, i := range artRows {
+		for r := 0; r < m; r++ {
+			ext := 0.0
+			if r == i {
+				ext = 1
+			}
+			std.a[r] = append(std.a[r], ext)
+		}
+		std.basis[i] = n + k
+		if std.rowAux[i].col == -1 { // EQ rows use the artificial
+			std.rowAux[i].col = n + k
+		}
+	}
+	return std, nil
+}

@@ -1,0 +1,324 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+const tol = 1e-6
+
+func requireOptimal(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestSolveBasicMax(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+	p := NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{3, 5}
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.Objective, 36) {
+		t.Errorf("objective = %v, want 36", sol.Objective)
+	}
+	if !almostEqual(sol.X[0], 2) || !almostEqual(sol.X[1], 6) {
+		t.Errorf("X = %v, want [2 6]", sol.X)
+	}
+}
+
+func TestSolveBasicMin(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10, x ≥ 2, y ≥ 3 → x=7, y=3, obj=23.
+	p := NewProblem(2)
+	p.Obj = []float64{2, 3}
+	p.AddConstraint([]float64{1, 1}, GE, 10)
+	p.SetBounds(0, 2, math.Inf(1))
+	p.SetBounds(1, 3, math.Inf(1))
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.Objective, 23) {
+		t.Errorf("objective = %v, want 23", sol.Objective)
+	}
+	if !almostEqual(sol.X[0], 7) || !almostEqual(sol.X[1], 3) {
+		t.Errorf("X = %v, want [7 3]", sol.X)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// min x + 2y s.t. x + y = 5, x ≤ 3 → x=3, y=2, obj=7.
+	p := NewProblem(2)
+	p.Obj = []float64{1, 2}
+	p.AddConstraint([]float64{1, 1}, EQ, 5)
+	p.SetBounds(0, 0, 3)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.Objective, 7) {
+		t.Errorf("objective = %v, want 7", sol.Objective)
+	}
+}
+
+func TestSolveUpperBounds(t *testing.T) {
+	// max x + y with x ≤ 2, y ≤ 3 via bounds only.
+	p := NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{1, 1}
+	p.SetBounds(0, 0, 2)
+	p.SetBounds(1, 0, 3)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.Objective, 5) {
+		t.Errorf("objective = %v, want 5", sol.Objective)
+	}
+}
+
+func TestSolveFreeVariable(t *testing.T) {
+	// min x s.t. x ≥ -7 with x free → x = -7.
+	p := NewProblem(1)
+	p.Obj = []float64{1}
+	p.SetBounds(0, math.Inf(-1), math.Inf(1))
+	p.AddConstraint([]float64{1}, GE, -7)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.X[0], -7) {
+		t.Errorf("X = %v, want [-7]", sol.X)
+	}
+}
+
+func TestSolveNegativeLowerBound(t *testing.T) {
+	// min x + y, x ∈ [-5, 5], y ∈ [-2, 2], x + y ≥ -4 → obj = -4.
+	p := NewProblem(2)
+	p.Obj = []float64{1, 1}
+	p.SetBounds(0, -5, 5)
+	p.SetBounds(1, -2, 2)
+	p.AddConstraint([]float64{1, 1}, GE, -4)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.Objective, -4) {
+		t.Errorf("objective = %v, want -4", sol.Objective)
+	}
+}
+
+func TestSolveMirroredVariable(t *testing.T) {
+	// min -x with x ∈ (-inf, 9] → x = 9, obj = -9.
+	p := NewProblem(1)
+	p.Obj = []float64{-1}
+	p.SetBounds(0, math.Inf(-1), 9)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.X[0], 9) {
+		t.Errorf("X = %v, want [9]", sol.X)
+	}
+	if !almostEqual(sol.Objective, -9) {
+		t.Errorf("objective = %v, want -9", sol.Objective)
+	}
+}
+
+func TestSolveFixedVariable(t *testing.T) {
+	// x pinned to [2,2]; min x + y s.t. x + y ≥ 5 → y = 3.
+	p := NewProblem(2)
+	p.Obj = []float64{1, 1}
+	p.SetBounds(0, 2, 2)
+	p.AddConstraint([]float64{1, 1}, GE, 5)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.X[0], 2) || !almostEqual(sol.X[1], 3) {
+		t.Errorf("X = %v, want [2 3]", sol.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.Obj = []float64{1}
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]float64{-1}, LE, 0) // x ≥ 0, no upper limit
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveUnboundedNoConstraints(t *testing.T) {
+	p := NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveNoConstraintsAtLowerBound(t *testing.T) {
+	p := NewProblem(2)
+	p.Obj = []float64{1, 2}
+	sol := requireOptimal(t, p)
+	if sol.X[0] != 0 || sol.X[1] != 0 {
+		t.Errorf("X = %v, want [0 0]", sol.X)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Beale's classic cycling example (degenerate); Bland fallback must
+	// terminate with the optimum -0.05.
+	p := NewProblem(4)
+	p.Obj = []float64{-0.75, 150, -0.02, 6}
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.Objective, -0.05) {
+		t.Errorf("objective = %v, want -0.05", sol.Objective)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x s.t. -x ≤ -3 (i.e. x ≥ 3).
+	p := NewProblem(1)
+	p.Obj = []float64{1}
+	p.AddConstraint([]float64{-1}, LE, -3)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.X[0], 3) {
+		t.Errorf("X = %v, want [3]", sol.X)
+	}
+}
+
+func TestSolveRedundantConstraints(t *testing.T) {
+	// Duplicated equality rows leave a redundant artificial basic at zero.
+	p := NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{1, 1}
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{2, 2}, EQ, 8)
+	sol := requireOptimal(t, p)
+	if !almostEqual(sol.Objective, 4) {
+		t.Errorf("objective = %v, want 4", sol.Objective)
+	}
+}
+
+func TestSolveValidationErrors(t *testing.T) {
+	cases := []*Problem{
+		nil,
+		{NumVars: 0},
+		{NumVars: 2, Obj: []float64{1}},
+		{NumVars: 1, Obj: []float64{1}, Lower: []float64{0, 0}},
+		{NumVars: 1, Obj: []float64{1}, Upper: []float64{0, 0}},
+		{NumVars: 1, Obj: []float64{1}, Integer: []bool{true, true}},
+		{NumVars: 1, Obj: []float64{1}, Cons: []Constraint{{Coef: []float64{1, 2}, Rel: LE, RHS: 1}}},
+		{NumVars: 1, Obj: []float64{1}, Cons: []Constraint{{Coef: []float64{math.NaN()}, Rel: LE, RHS: 1}}},
+		{NumVars: 1, Obj: []float64{1}, Cons: []Constraint{{Coef: []float64{1}, Rel: LE, RHS: math.NaN()}}},
+		{NumVars: 1, Obj: []float64{math.Inf(1)}},
+		{NumVars: 1, Obj: []float64{1}, Lower: []float64{5}, Upper: []float64{1}},
+	}
+	for i, p := range cases {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d: Solve accepted invalid problem", i)
+		}
+	}
+}
+
+func TestRelString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Rel.String() mismatch")
+	}
+	if Rel(9).String() != "Rel(9)" {
+		t.Error("unknown Rel should format numerically")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	want := map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterLimit: "iteration-limit",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), str)
+		}
+	}
+	if Status(42).String() != "Status(42)" {
+		t.Error("unknown Status should format numerically")
+	}
+}
+
+// TestSolveTransportation exercises a larger structured LP: a 3x4
+// transportation problem with known optimum.
+func TestSolveTransportation(t *testing.T) {
+	// Supplies 20/30/25, demands 10/25/15/25 (total 75 = total supply).
+	supply := []float64{20, 30, 25}
+	demand := []float64{10, 25, 15, 25}
+	cost := [][]float64{
+		{4, 6, 8, 8},
+		{6, 8, 6, 7},
+		{5, 7, 6, 8},
+	}
+	nv := len(supply) * len(demand)
+	p := NewProblem(nv)
+	idx := func(i, j int) int { return i*len(demand) + j }
+	for i := range supply {
+		for j := range demand {
+			p.Obj[idx(i, j)] = cost[i][j]
+		}
+	}
+	for i, s := range supply {
+		coef := make([]float64, nv)
+		for j := range demand {
+			coef[idx(i, j)] = 1
+		}
+		p.AddConstraint(coef, EQ, s)
+	}
+	for j, d := range demand {
+		coef := make([]float64, nv)
+		for i := range supply {
+			coef[idx(i, j)] = 1
+		}
+		p.AddConstraint(coef, EQ, d)
+	}
+	sol := requireOptimal(t, p)
+	// Verify feasibility of the returned plan.
+	for i, s := range supply {
+		var sum float64
+		for j := range demand {
+			sum += sol.X[idx(i, j)]
+		}
+		if !almostEqual(sum, s) {
+			t.Errorf("supply row %d ships %v, want %v", i, sum, s)
+		}
+	}
+	for j, d := range demand {
+		var sum float64
+		for i := range supply {
+			sum += sol.X[idx(i, j)]
+		}
+		if !almostEqual(sum, d) {
+			t.Errorf("demand col %d receives %v, want %v", j, sum, d)
+		}
+	}
+	// Optimum computed independently by Vogel's approximation plus a
+	// stepping-stone optimality check (all reduced costs ≥ 0): 470.
+	if !almostEqual(sol.Objective, 470) {
+		t.Errorf("objective = %v, want 470", sol.Objective)
+	}
+}

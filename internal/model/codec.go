@@ -1,0 +1,129 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the stable on-disk schema for Instance. Field names are
+// spelled out so saved scenarios remain readable and diffable.
+type instanceJSON struct {
+	SBSs      int         `json:"sbss"`
+	Groups    int         `json:"groups"`
+	Contents  int         `json:"contents"`
+	Demand    [][]float64 `json:"demand"`
+	Links     [][]bool    `json:"links"`
+	CacheCap  []int       `json:"cache_capacity"`
+	Bandwidth []float64   `json:"bandwidth"`
+	EdgeCost  [][]float64 `json:"edge_cost"`
+	BSCost    []float64   `json:"bs_cost"`
+}
+
+// WriteJSON serializes the instance, indented for human inspection. The
+// instance is validated first so no malformed scenario reaches disk.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(instanceJSON{
+		SBSs:      in.N,
+		Groups:    in.U,
+		Contents:  in.F,
+		Demand:    in.Demand,
+		Links:     in.Links,
+		CacheCap:  in.CacheCap,
+		Bandwidth: in.Bandwidth,
+		EdgeCost:  in.EdgeCost,
+		BSCost:    in.BSCost,
+	})
+}
+
+// ReadJSON deserializes and validates an instance.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var raw instanceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("model: decode instance: %w", err)
+	}
+	in := &Instance{
+		N: raw.SBSs, U: raw.Groups, F: raw.Contents,
+		Demand:    raw.Demand,
+		Links:     raw.Links,
+		CacheCap:  raw.CacheCap,
+		Bandwidth: raw.Bandwidth,
+		EdgeCost:  raw.EdgeCost,
+		BSCost:    raw.BSCost,
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// solutionJSON is the stable on-disk schema for Solution.
+type solutionJSON struct {
+	Caching  [][]bool      `json:"caching"`
+	Routing  [][][]float64 `json:"routing"`
+	Edge     float64       `json:"edge_cost"`
+	Backhaul float64       `json:"backhaul_cost"`
+	Total    float64       `json:"total_cost"`
+}
+
+// WriteJSON serializes the solution.
+func (s *Solution) WriteJSON(w io.Writer) error {
+	if s.Caching == nil || s.Routing == nil {
+		return fmt.Errorf("model: solution missing policies")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(solutionJSON{
+		Caching:  s.Caching.Cache,
+		Routing:  s.Routing.Route,
+		Edge:     s.Cost.Edge,
+		Backhaul: s.Cost.Backhaul,
+		Total:    s.Cost.Total,
+	})
+}
+
+// ReadSolutionJSON deserializes a solution and re-derives its cost against
+// the given instance (the stored cost is informational; the instance is
+// authoritative). It fails if the policies do not fit the instance or are
+// infeasible.
+func ReadSolutionJSON(r io.Reader, in *Instance) (*Solution, error) {
+	var raw solutionJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("model: decode solution: %w", err)
+	}
+	sol := &Solution{
+		Caching: &CachingPolicy{Cache: raw.Caching},
+		Routing: &RoutingPolicy{Route: raw.Routing},
+	}
+	if len(raw.Caching) != in.N || len(raw.Routing) != in.N {
+		return nil, fmt.Errorf("model: solution sized for %d SBSs, instance has %d", len(raw.Caching), in.N)
+	}
+	for n := 0; n < in.N; n++ {
+		if len(raw.Caching[n]) != in.F {
+			return nil, fmt.Errorf("model: caching row %d has %d entries, want %d", n, len(raw.Caching[n]), in.F)
+		}
+		if len(raw.Routing[n]) != in.U {
+			return nil, fmt.Errorf("model: routing block %d has %d rows, want %d", n, len(raw.Routing[n]), in.U)
+		}
+		for u := 0; u < in.U; u++ {
+			if len(raw.Routing[n][u]) != in.F {
+				return nil, fmt.Errorf("model: routing[%d][%d] has %d entries, want %d",
+					n, u, len(raw.Routing[n][u]), in.F)
+			}
+		}
+	}
+	if vs := CheckFeasibility(in, sol.Caching, sol.Routing); len(vs) != 0 {
+		return nil, fmt.Errorf("model: stored solution infeasible:\n%s", FormatViolations(vs))
+	}
+	sol.Cost = TotalServingCost(in, sol.Routing)
+	return sol, nil
+}

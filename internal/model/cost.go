@@ -1,0 +1,79 @@
+package model
+
+// CostBreakdown decomposes the serving cost f(y) = f1(y) + f2(y) of eq. 7.
+type CostBreakdown struct {
+	// Edge is f1(y) = Σ_n Σ_u Σ_f d_nu·y_nuf·l_nu·λ_uf (eq. 5): the cost of
+	// serving requests from SBS caches.
+	Edge float64
+	// Backhaul is f2(y) = Σ_u d̂_u Σ_f (1 − Σ_n y_nuf·l_nu)·λ_uf (eq. 6):
+	// the cost of the residual demand the BS serves over the backhaul.
+	Backhaul float64
+	// Total is Edge + Backhaul.
+	Total float64
+}
+
+// EdgeServingCost returns f1(y) (eq. 5).
+func EdgeServingCost(in *Instance, y *RoutingPolicy) float64 {
+	var cost float64
+	for n := 0; n < in.N; n++ {
+		for u := 0; u < in.U; u++ {
+			if !in.Links[n][u] {
+				continue
+			}
+			d := in.EdgeCost[n][u]
+			for f := 0; f < in.F; f++ {
+				cost += d * y.Route[n][u][f] * in.Demand[u][f]
+			}
+		}
+	}
+	return cost
+}
+
+// BackhaulServingCost returns f2(y) (eq. 6). The residual fraction
+// 1 − Σ_n y·l is clamped at zero: if the edge over-serves a demand the
+// surplus packets are discarded (paper §IV-B), they do not earn negative
+// backhaul cost.
+func BackhaulServingCost(in *Instance, y *RoutingPolicy) float64 {
+	agg := y.Aggregate(in)
+	var cost float64
+	for u := 0; u < in.U; u++ {
+		dHat := in.BSCost[u]
+		for f := 0; f < in.F; f++ {
+			residual := 1 - agg[u][f]
+			if residual < 0 {
+				residual = 0
+			}
+			cost += dHat * residual * in.Demand[u][f]
+		}
+	}
+	return cost
+}
+
+// TotalServingCost returns the full decomposition of f(y) (eq. 7).
+func TotalServingCost(in *Instance, y *RoutingPolicy) CostBreakdown {
+	edge := EdgeServingCost(in, y)
+	backhaul := BackhaulServingCost(in, y)
+	return CostBreakdown{Edge: edge, Backhaul: backhaul, Total: edge + backhaul}
+}
+
+// ServedFraction returns the share of the total demand served at the edge:
+// Σ_{u,f} min(1, Σ_n y·l)·λ / Σ_{u,f} λ. It is a convenient scalar for
+// dashboards and tests; it is not part of the paper's objective.
+func ServedFraction(in *Instance, y *RoutingPolicy) float64 {
+	total := in.TotalDemand()
+	if total == 0 {
+		return 0
+	}
+	agg := y.Aggregate(in)
+	var served float64
+	for u := 0; u < in.U; u++ {
+		for f := 0; f < in.F; f++ {
+			frac := agg[u][f]
+			if frac > 1 {
+				frac = 1
+			}
+			served += frac * in.Demand[u][f]
+		}
+	}
+	return served / total
+}

@@ -1,0 +1,129 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FeasibilityTolerance is the numeric slack allowed when checking the
+// constraint system. Solvers in this repository work in float64 and the
+// routing sub-problem accumulates sums over U×F terms, so exact comparisons
+// would reject optimal solutions.
+const FeasibilityTolerance = 1e-6
+
+// Violation describes one violated constraint.
+type Violation struct {
+	// Constraint names the violated constraint family using the paper's
+	// equation numbers: "cache-capacity (1)", "routing-requires-cache (2)",
+	// "bandwidth (3)", "no-overserve (4)", or "box".
+	Constraint string
+	// Where identifies the offending indices (n, u, f as applicable).
+	Where string
+	// Amount is by how much the constraint is exceeded.
+	Amount float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at %s exceeded by %.3g", v.Constraint, v.Where, v.Amount)
+}
+
+// CheckFeasibility verifies the full constraint system (eq. 1-4 plus the
+// box constraints on x and y) and returns every violation found, up to a
+// cap of 100 to bound output on badly broken inputs. A nil/empty result
+// means the pair (x, y) is feasible within FeasibilityTolerance.
+func CheckFeasibility(in *Instance, x *CachingPolicy, y *RoutingPolicy) []Violation {
+	const maxViolations = 100
+	var out []Violation
+	add := func(v Violation) bool {
+		out = append(out, v)
+		return len(out) >= maxViolations
+	}
+
+	// Eq. 1: cache capacity.
+	for n := 0; n < in.N; n++ {
+		if c := x.Count(n); c > in.CacheCap[n] {
+			if add(Violation{"cache-capacity (1)", fmt.Sprintf("n=%d", n), float64(c - in.CacheCap[n])}) {
+				return out
+			}
+		}
+	}
+
+	// Box constraints and eq. 2: routing requires the content cached.
+	for n := 0; n < in.N; n++ {
+		for u := 0; u < in.U; u++ {
+			for f := 0; f < in.F; f++ {
+				v := y.Route[n][u][f]
+				if v < -FeasibilityTolerance || v > 1+FeasibilityTolerance {
+					if add(Violation{"box", fmt.Sprintf("n=%d u=%d f=%d", n, u, f), boxExcess(v)}) {
+						return out
+					}
+					continue
+				}
+				if v > FeasibilityTolerance && !x.Cache[n][f] {
+					if add(Violation{"routing-requires-cache (2)", fmt.Sprintf("n=%d u=%d f=%d", n, u, f), v}) {
+						return out
+					}
+				}
+				if v > FeasibilityTolerance && !in.Links[n][u] {
+					if add(Violation{"no-link", fmt.Sprintf("n=%d u=%d f=%d", n, u, f), v}) {
+						return out
+					}
+				}
+			}
+		}
+	}
+
+	// Eq. 3: bandwidth.
+	for n := 0; n < in.N; n++ {
+		if load := y.Load(in, n); load > in.Bandwidth[n]+bandwidthTol(in.Bandwidth[n]) {
+			if add(Violation{"bandwidth (3)", fmt.Sprintf("n=%d", n), load - in.Bandwidth[n]}) {
+				return out
+			}
+		}
+	}
+
+	// Eq. 4: no demand served more than once in total.
+	agg := y.Aggregate(in)
+	for u := 0; u < in.U; u++ {
+		for f := 0; f < in.F; f++ {
+			if agg[u][f] > 1+FeasibilityTolerance {
+				if add(Violation{"no-overserve (4)", fmt.Sprintf("u=%d f=%d", u, f), agg[u][f] - 1}) {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsFeasible reports whether (x, y) satisfies the full constraint system.
+func IsFeasible(in *Instance, x *CachingPolicy, y *RoutingPolicy) bool {
+	return len(CheckFeasibility(in, x, y)) == 0
+}
+
+// FormatViolations renders violations one per line for error messages.
+func FormatViolations(vs []Violation) string {
+	lines := make([]string, len(vs))
+	for i, v := range vs {
+		lines[i] = v.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+func boxExcess(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v - 1
+}
+
+// bandwidthTol scales the feasibility tolerance with the capacity so that
+// summing thousands of float64 terms against a large B_n does not produce
+// spurious violations.
+func bandwidthTol(b float64) float64 {
+	tol := FeasibilityTolerance * b
+	if tol < FeasibilityTolerance {
+		tol = FeasibilityTolerance
+	}
+	return tol
+}

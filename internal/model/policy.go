@@ -1,0 +1,142 @@
+package model
+
+import "fmt"
+
+// CachingPolicy holds the binary caching decisions x_nf: Cache[n][f] reports
+// whether SBS n stores content f.
+type CachingPolicy struct {
+	Cache [][]bool // N × F
+}
+
+// NewCachingPolicy returns an all-empty caching policy sized for in.
+func NewCachingPolicy(in *Instance) *CachingPolicy {
+	c := make([][]bool, in.N)
+	for n := range c {
+		c[n] = make([]bool, in.F)
+	}
+	return &CachingPolicy{Cache: c}
+}
+
+// Clone returns a deep copy of the policy.
+func (p *CachingPolicy) Clone() *CachingPolicy {
+	return &CachingPolicy{Cache: cloneBoolMatrix(p.Cache)}
+}
+
+// Count returns the number of contents cached at SBS n.
+func (p *CachingPolicy) Count(n int) int {
+	count := 0
+	for _, cached := range p.Cache[n] {
+		if cached {
+			count++
+		}
+	}
+	return count
+}
+
+// Contents returns the cached contents of SBS n in increasing order.
+func (p *CachingPolicy) Contents(n int) []int {
+	var out []int
+	for f, cached := range p.Cache[n] {
+		if cached {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RoutingPolicy holds the fractional routing decisions y_nuf ∈ [0,1]:
+// Route[n][u][f] is the fraction of MU group u's demand for content f that
+// SBS n serves.
+type RoutingPolicy struct {
+	Route [][][]float64 // N × U × F
+}
+
+// NewRoutingPolicy returns an all-zero routing policy sized for in.
+func NewRoutingPolicy(in *Instance) *RoutingPolicy {
+	r := make([][][]float64, in.N)
+	for n := range r {
+		r[n] = in.NewZeroMatrix()
+	}
+	return &RoutingPolicy{Route: r}
+}
+
+// Clone returns a deep copy of the policy.
+func (p *RoutingPolicy) Clone() *RoutingPolicy {
+	r := make([][][]float64, len(p.Route))
+	for n := range p.Route {
+		r[n] = cloneMatrix(p.Route[n])
+	}
+	return &RoutingPolicy{Route: r}
+}
+
+// SetSBS replaces SBS n's routing block with a copy of y (U×F).
+func (p *RoutingPolicy) SetSBS(n int, y [][]float64) {
+	p.Route[n] = cloneMatrix(y)
+}
+
+// SBS returns SBS n's routing block without copying. Callers must not
+// mutate the result unless they own the policy.
+func (p *RoutingPolicy) SBS(n int) [][]float64 { return p.Route[n] }
+
+// Aggregate returns Σ_n y_nuf·l_nu as a U×F matrix: the total fraction of
+// each (u,f) demand served at the edge. This is the quantity the BS
+// assembles and broadcasts in the distributed algorithm.
+func (p *RoutingPolicy) Aggregate(in *Instance) [][]float64 {
+	agg := in.NewZeroMatrix()
+	for n := 0; n < in.N; n++ {
+		for u := 0; u < in.U; u++ {
+			if !in.Links[n][u] {
+				continue
+			}
+			for f := 0; f < in.F; f++ {
+				agg[u][f] += p.Route[n][u][f]
+			}
+		}
+	}
+	return agg
+}
+
+// AggregateExcept returns the aggregate routing y_{-n} (eq. 14 of the
+// paper): the summed routing of every SBS other than n, masked by links.
+func (p *RoutingPolicy) AggregateExcept(in *Instance, n int) [][]float64 {
+	agg := in.NewZeroMatrix()
+	for i := 0; i < in.N; i++ {
+		if i == n {
+			continue
+		}
+		for u := 0; u < in.U; u++ {
+			if !in.Links[i][u] {
+				continue
+			}
+			for f := 0; f < in.F; f++ {
+				agg[u][f] += p.Route[i][u][f]
+			}
+		}
+	}
+	return agg
+}
+
+// Load returns Σ_u Σ_f y_nuf·λ_uf, the bandwidth consumed at SBS n (left
+// side of eq. 3).
+func (p *RoutingPolicy) Load(in *Instance, n int) float64 {
+	var load float64
+	for u := 0; u < in.U; u++ {
+		for f := 0; f < in.F; f++ {
+			load += p.Route[n][u][f] * in.Demand[u][f]
+		}
+	}
+	return load
+}
+
+// Solution bundles one pair of caching and routing policies together with
+// the serving cost it achieves.
+type Solution struct {
+	Caching *CachingPolicy
+	Routing *RoutingPolicy
+	Cost    CostBreakdown
+}
+
+// String summarizes the solution in one line.
+func (s *Solution) String() string {
+	return fmt.Sprintf("cost=%.2f (edge=%.2f backhaul=%.2f)", s.Cost.Total, s.Cost.Edge, s.Cost.Backhaul)
+}

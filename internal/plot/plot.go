@@ -1,0 +1,177 @@
+// Package plot renders ASCII line and bar charts. The repository is
+// dependency-free and offline, so the figure harness uses these to give
+// the paper's figures a visual shape directly in the terminal
+// (cmd/benchfig -plot); CSV output remains the machine-readable path.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Config sets chart geometry and labels.
+type Config struct {
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 64×16; minimums 16×4).
+	Width, Height int
+	// Title is printed above the chart; YLabel to the left of the axis
+	// annotations.
+	Title  string
+	YLabel string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width == 0 {
+		c.Width = 64
+	}
+	if c.Height == 0 {
+		c.Height = 16
+	}
+	if c.Width < 16 {
+		c.Width = 16
+	}
+	if c.Height < 4 {
+		c.Height = 4
+	}
+	return c
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Lines renders the series into one chart with shared axes.
+func Lines(cfg Config, series ...Series) (string, error) {
+	cfg = cfg.withDefaults()
+	if len(series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	if len(series) > len(markers) {
+		return "", fmt.Errorf("plot: at most %d series, got %d", len(markers), len(series))
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for i, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %d has %d x values and %d y values", i, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("plot: series %d is empty", i)
+		}
+		for j := range s.X {
+			if math.IsNaN(s.X[j]) || math.IsNaN(s.Y[j]) || math.IsInf(s.X[j], 0) || math.IsInf(s.Y[j], 0) {
+				return "", fmt.Errorf("plot: series %d point %d is not finite", i, j)
+			}
+			xMin, xMax = math.Min(xMin, s.X[j]), math.Max(xMax, s.X[j])
+			yMin, yMax = math.Min(yMin, s.Y[j]), math.Max(yMax, s.Y[j])
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		mark := markers[si]
+		for j := range s.X {
+			col := int(math.Round((s.X[j] - xMin) / (xMax - xMin) * float64(cfg.Width-1)))
+			row := int(math.Round((yMax - s.Y[j]) / (yMax - yMin) * float64(cfg.Height-1)))
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yTop := formatTick(yMax)
+	yBottom := formatTick(yMin)
+	pad := len(yTop)
+	if len(yBottom) > pad {
+		pad = len(yBottom)
+	}
+	for r := 0; r < cfg.Height; r++ {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = leftPad(yTop, pad)
+		case cfg.Height - 1:
+			label = leftPad(yBottom, pad)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", cfg.Width))
+	xLeft := formatTick(xMin)
+	xRight := formatTick(xMax)
+	gap := cfg.Width - len(xLeft) - len(xRight)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", pad), xLeft, strings.Repeat(" ", gap), xRight)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si], s.Name))
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "   "))
+	if cfg.YLabel != "" {
+		fmt.Fprintf(&b, "y: %s\n", cfg.YLabel)
+	}
+	return b.String(), nil
+}
+
+// Bars renders labeled horizontal bars scaled to the maximum value.
+func Bars(cfg Config, labels []string, values []float64) (string, error) {
+	cfg = cfg.withDefaults()
+	if len(labels) == 0 || len(labels) != len(values) {
+		return "", fmt.Errorf("plot: need equal non-empty labels (%d) and values (%d)", len(labels), len(values))
+	}
+	maxVal := math.Inf(-1)
+	labelWidth := 0
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return "", fmt.Errorf("plot: values must be finite and non-negative, got %v", v)
+		}
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > labelWidth {
+			labelWidth = len(labels[i])
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	for i, v := range values {
+		bar := int(math.Round(v / maxVal * float64(cfg.Width)))
+		fmt.Fprintf(&b, "%s |%s %s\n", leftPad(labels[i], labelWidth),
+			strings.Repeat("#", bar), formatTick(v))
+	}
+	return b.String(), nil
+}
+
+func leftPad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return strings.Repeat(" ", width-len(s)) + s
+}
+
+func formatTick(v float64) string {
+	return fmt.Sprintf("%.4g", v)
+}

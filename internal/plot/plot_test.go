@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	out, err := Lines(Config{Width: 20, Height: 5, Title: "T", YLabel: "cost"},
+		Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		Series{Name: "b", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"T\n", "legend: * a   o b", "y: cost", "+--------------------"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Increasing series 'a': marker in the bottom-left and top-right.
+	lines := strings.Split(out, "\n")
+	var plotRows []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotRows = append(plotRows, l[strings.Index(l, "|")+1:])
+		}
+	}
+	if len(plotRows) != 5 {
+		t.Fatalf("plot rows = %d, want 5", len(plotRows))
+	}
+	top, bottom := plotRows[0], plotRows[4]
+	if !strings.Contains(top, "*") || !strings.HasPrefix(bottom, "*") {
+		t.Errorf("series a not anchored at corners:\ntop=%q\nbottom=%q", top, bottom)
+	}
+	// Axis tick labels.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "2") {
+		t.Error("tick labels missing")
+	}
+}
+
+func TestLinesErrors(t *testing.T) {
+	if _, err := Lines(Config{}); err == nil {
+		t.Error("no series: want error")
+	}
+	if _, err := Lines(Config{}, Series{Name: "a", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Lines(Config{}, Series{Name: "a"}); err == nil {
+		t.Error("empty series: want error")
+	}
+	if _, err := Lines(Config{}, Series{Name: "a", X: []float64{math.NaN()}, Y: []float64{1}}); err == nil {
+		t.Error("NaN: want error")
+	}
+	var many []Series
+	for i := 0; i < 7; i++ {
+		many = append(many, Series{Name: "s", X: []float64{0}, Y: []float64{0}})
+	}
+	if _, err := Lines(Config{}, many...); err == nil {
+		t.Error("too many series: want error")
+	}
+}
+
+func TestLinesConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out, err := Lines(Config{Width: 16, Height: 4},
+		Series{Name: "flat", X: []float64{1, 1}, Y: []float64{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("marker missing for constant series")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out, err := Bars(Config{Width: 10, Title: "B"},
+		[]string{"LRU", "LFU"}, []float64{100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "LRU |##########") {
+		t.Errorf("full bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "LFU |#####") {
+		t.Errorf("half bar missing:\n%s", out)
+	}
+}
+
+func TestBarsErrors(t *testing.T) {
+	if _, err := Bars(Config{}, nil, nil); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, err := Bars(Config{}, []string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Bars(Config{}, []string{"a"}, []float64{-1}); err == nil {
+		t.Error("negative value: want error")
+	}
+	if _, err := Bars(Config{}, []string{"a"}, []float64{math.Inf(1)}); err == nil {
+		t.Error("infinite value: want error")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	out, err := Bars(Config{Width: 10}, []string{"a"}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "#") {
+		t.Error("zero value drew a bar")
+	}
+}

@@ -1,0 +1,290 @@
+// Package sim deploys Algorithm 1 as a real distributed protocol: one BS
+// agent (coordinator/aggregator) and N SBS agents (sub-problem solvers)
+// exchanging transport messages. This is the paper's operational setting —
+// SBSs owned by different operators that reveal only their (LPPM-protected)
+// routing uploads, never their internal state.
+//
+// Protocol per sweep τ, phase n (matching Algorithm 1 line by line):
+//
+//	BS  → SBS n: MsgPhaseStart{Sweep, Phase, AggregateAnnounce{y_{-n}}}
+//	SBS n → BS:  MsgPolicyUpload{Sweep, Phase, PolicyUpload{x_n, ŷ_n}}
+//
+// and a final MsgDone broadcast. The BS tolerates SBS failures: if an
+// upload does not arrive within PhaseTimeout, the SBS's previous policy is
+// kept and the sweep continues (the SBS can rejoin in a later sweep).
+//
+// With privacy disabled the protocol run is bit-for-bit equivalent to the
+// in-process core.Coordinator; the integration tests assert this.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"edgecache/internal/core"
+	"edgecache/internal/model"
+	"edgecache/internal/transport"
+)
+
+// BSConfig tunes the BS agent.
+type BSConfig struct {
+	// Gamma and MaxSweeps follow core.Config (0 means defaults: 1e-6, 50).
+	Gamma     float64
+	MaxSweeps int
+	// PhaseTimeout bounds the wait for one SBS upload. 0 means 30s.
+	PhaseTimeout time.Duration
+}
+
+func (c BSConfig) withDefaults() BSConfig {
+	if c.Gamma <= 0 {
+		c.Gamma = 1e-6
+	}
+	if c.MaxSweeps <= 0 {
+		c.MaxSweeps = 50
+	}
+	if c.PhaseTimeout <= 0 {
+		c.PhaseTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// BSAgent is the base-station side of the protocol. The BS knows the
+// public instance data (demands, links — §I of the paper argues request
+// information is the least sensitive data class) but never any SBS's
+// internal solver state.
+type BSAgent struct {
+	inst     *model.Instance
+	cfg      BSConfig
+	ep       transport.Endpoint
+	sbsNames []string
+}
+
+// NewBSAgent builds the BS agent. sbsNames[n] is the endpoint name of
+// SBS n and must have exactly N entries.
+func NewBSAgent(inst *model.Instance, cfg BSConfig, ep transport.Endpoint, sbsNames []string) (*BSAgent, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if ep == nil {
+		return nil, errors.New("sim: BS agent requires an endpoint")
+	}
+	if len(sbsNames) != inst.N {
+		return nil, fmt.Errorf("sim: %d SBS names for N=%d SBSs", len(sbsNames), inst.N)
+	}
+	return &BSAgent{inst: inst, cfg: cfg.withDefaults(), ep: ep, sbsNames: sbsNames}, nil
+}
+
+// Run drives the full protocol and returns the converged result. SBS
+// agents must be running (or must join before their phase times out).
+func (b *BSAgent) Run(ctx context.Context) (*core.RunResult, error) {
+	inst := b.inst
+	x := model.NewCachingPolicy(inst)
+	y := model.NewRoutingPolicy(inst)
+
+	res := &core.RunResult{}
+	var best *model.Solution
+	prevCost := math.Inf(1)
+	for sweep := 0; sweep < b.cfg.MaxSweeps; sweep++ {
+		for n := 0; n < inst.N; n++ {
+			if err := b.announcePhase(ctx, sweep, n, y); err != nil {
+				return nil, err
+			}
+			upload, ok, err := b.awaitUpload(ctx, sweep, n)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue // SBS unreachable this phase: keep its old policy
+			}
+			if err := b.applyUpload(x, y, n, upload); err != nil {
+				// A malformed upload is treated like a missing one; the
+				// previous policy stays in force.
+				continue
+			}
+		}
+		cost := model.TotalServingCost(inst, y)
+		res.History = append(res.History, cost.Total)
+		res.Sweeps = sweep + 1
+		// Mirror core.Coordinator: the BS keeps the cheapest policy it has
+		// evaluated (identical to the final sweep when noise is off).
+		if best == nil || cost.Total < best.Cost.Total {
+			best = &model.Solution{Caching: x.Clone(), Routing: y.Clone(), Cost: cost}
+		}
+		if cost.Total > 0 && math.Abs(prevCost-cost.Total)/cost.Total <= b.cfg.Gamma {
+			res.Converged = true
+			prevCost = cost.Total
+			break
+		}
+		prevCost = cost.Total
+	}
+
+	b.broadcastDone(ctx)
+	if best == nil {
+		best = &model.Solution{Caching: x, Routing: y, Cost: model.TotalServingCost(inst, y)}
+	}
+	res.Solution = best
+	return res, nil
+}
+
+// announcePhase sends y_{-n} to SBS n.
+func (b *BSAgent) announcePhase(ctx context.Context, sweep, n int, y *model.RoutingPolicy) error {
+	payload, err := transport.EncodePayload(transport.AggregateAnnounce{
+		YMinus: y.AggregateExcept(b.inst, n),
+	})
+	if err != nil {
+		return err
+	}
+	msg := transport.Message{Type: transport.MsgPhaseStart, Sweep: sweep, Phase: n, Payload: payload}
+	if err := b.ep.Send(ctx, b.sbsNames[n], msg); err != nil {
+		// Unreachable SBS: not fatal, the await below will time out.
+		return nil
+	}
+	return nil
+}
+
+// awaitUpload waits for SBS n's upload for (sweep, n), discarding stale or
+// duplicated messages. ok=false signals a timeout.
+func (b *BSAgent) awaitUpload(ctx context.Context, sweep, n int) (transport.PolicyUpload, bool, error) {
+	deadline, cancel := context.WithTimeout(ctx, b.cfg.PhaseTimeout)
+	defer cancel()
+	for {
+		msg, err := b.ep.Recv(deadline)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return transport.PolicyUpload{}, false, nil
+			}
+			return transport.PolicyUpload{}, false, err
+		}
+		if msg.Type != transport.MsgPolicyUpload || msg.Sweep != sweep || msg.Phase != n ||
+			msg.From != b.sbsNames[n] {
+			continue // stale, duplicated or foreign message
+		}
+		var upload transport.PolicyUpload
+		if err := transport.DecodePayload(msg.Payload, &upload); err != nil {
+			return transport.PolicyUpload{}, false, nil // treat as missing
+		}
+		return upload, true, nil
+	}
+}
+
+// applyUpload validates shapes and installs SBS n's policies.
+func (b *BSAgent) applyUpload(x *model.CachingPolicy, y *model.RoutingPolicy, n int, up transport.PolicyUpload) error {
+	inst := b.inst
+	if len(up.Cache) != inst.F {
+		return fmt.Errorf("sim: SBS %d cache vector has %d entries, want %d", n, len(up.Cache), inst.F)
+	}
+	if len(up.Routing) != inst.U {
+		return fmt.Errorf("sim: SBS %d routing has %d rows, want %d", n, len(up.Routing), inst.U)
+	}
+	for u, row := range up.Routing {
+		if len(row) != inst.F {
+			return fmt.Errorf("sim: SBS %d routing row %d has %d entries, want %d", n, u, len(row), inst.F)
+		}
+	}
+	copy(x.Cache[n], up.Cache)
+	y.SetSBS(n, up.Routing)
+	return nil
+}
+
+// broadcastDone tells every SBS the run finished; failures are ignored
+// (an SBS that already left does not need the message).
+func (b *BSAgent) broadcastDone(ctx context.Context) {
+	for _, name := range b.sbsNames {
+		_ = b.ep.Send(ctx, name, transport.Message{Type: transport.MsgDone})
+	}
+}
+
+// SBSAgent is the small-base-station side: it waits for phase
+// announcements, solves its sub-problem P_n, optionally applies LPPM to the
+// routing before it leaves the premises, and uploads the result.
+type SBSAgent struct {
+	sub    *core.Subproblem
+	lppm   *core.LPPM
+	ep     transport.Endpoint
+	bsName string
+}
+
+// NewSBSAgent builds the agent for SBS n. privacy may be nil. The SBS uses
+// the shared public instance data plus its own private columns; the solver
+// never sees another SBS's routing, only the BS aggregate.
+func NewSBSAgent(inst *model.Instance, n int, sub core.SubproblemConfig,
+	privacy *core.PrivacyConfig, ep transport.Endpoint, bsName string) (*SBSAgent, error) {
+	if ep == nil {
+		return nil, errors.New("sim: SBS agent requires an endpoint")
+	}
+	if bsName == "" {
+		return nil, errors.New("sim: SBS agent requires the BS endpoint name")
+	}
+	solver, err := core.NewSubproblem(inst, n, sub)
+	if err != nil {
+		return nil, err
+	}
+	a := &SBSAgent{sub: solver, ep: ep, bsName: bsName}
+	if privacy != nil {
+		lppm, err := core.NewLPPM(*privacy)
+		if err != nil {
+			return nil, err
+		}
+		a.lppm = lppm
+	}
+	return a, nil
+}
+
+// Run serves phase announcements until MsgDone or context cancellation.
+// A cancelled context returns ctx.Err(); MsgDone returns nil.
+func (a *SBSAgent) Run(ctx context.Context) error {
+	for {
+		msg, err := a.ep.Recv(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		switch msg.Type {
+		case transport.MsgDone:
+			return nil
+		case transport.MsgPhaseStart:
+			if err := a.handlePhase(ctx, msg); err != nil {
+				return err
+			}
+		default:
+			// Unexpected message: ignore (robustness against duplicates).
+		}
+	}
+}
+
+func (a *SBSAgent) handlePhase(ctx context.Context, msg transport.Message) error {
+	var ann transport.AggregateAnnounce
+	if err := transport.DecodePayload(msg.Payload, &ann); err != nil {
+		return nil // malformed announcement: skip; the BS will time out
+	}
+	res, err := a.sub.Solve(ann.YMinus)
+	if err != nil {
+		return nil // unsolvable announcement (bad shapes): skip
+	}
+	routing := res.Routing
+	if a.lppm != nil {
+		routing, err = a.lppm.Perturb(a.ep.Name(), res.Routing)
+		if err != nil {
+			return err
+		}
+	}
+	payload, err := transport.EncodePayload(transport.PolicyUpload{Cache: res.Cache, Routing: routing})
+	if err != nil {
+		return err
+	}
+	reply := transport.Message{
+		Type:    transport.MsgPolicyUpload,
+		Sweep:   msg.Sweep,
+		Phase:   msg.Phase,
+		Payload: payload,
+	}
+	if err := a.ep.Send(ctx, a.bsName, reply); err != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgecache/internal/model"
+	"edgecache/internal/trace"
+)
+
+// ValidationReport compares the fluid-model cost of a policy against a
+// packet-level replay of the actual request process.
+//
+// The optimization model treats demand as fluid: y_nuf is the *fraction*
+// of MU u's rate for content f served by SBS n, and bandwidth is a rate
+// budget. A real system serves discrete requests arriving as a point
+// process; ValidatePolicy replays such a stream, dispatches each request
+// to an SBS with probability equal to its routing share (falling back to
+// the BS when the chosen SBS has exhausted its bandwidth for the window),
+// and accounts the realized cost. Agreement between the two quantifies
+// how faithful the fluid relaxation is at the paper's operating scale.
+type ValidationReport struct {
+	// ModelCost is f(y) evaluated analytically on the policy.
+	ModelCost model.CostBreakdown
+	// RealizedCost is the cost measured during the replay.
+	RealizedCost model.CostBreakdown
+	// RelativeError is |realized − model| / model (total cost).
+	RelativeError float64
+	// Requests is the number of replayed requests; EdgeServed of them
+	// were served by an SBS; Fallbacks were routed to an SBS that had no
+	// bandwidth left and spilled to the BS.
+	Requests, EdgeServed, Fallbacks int
+}
+
+// ValidateOptions tunes the replay.
+type ValidateOptions struct {
+	// Requests is the approximate stream length (the demand matrix is
+	// scaled to this mass before Poisson expansion). 0 means 20000.
+	Requests int
+	// Seed drives stream expansion and probabilistic dispatch.
+	Seed int64
+}
+
+// ValidatePolicy replays a synthetic request stream against a solved
+// policy and reports fluid-vs-packet agreement.
+func ValidatePolicy(inst *model.Instance, sol *model.Solution, opts ValidateOptions) (*ValidationReport, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if sol == nil || sol.Routing == nil {
+		return nil, fmt.Errorf("sim: ValidatePolicy requires a solution with routing")
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 20000
+	}
+
+	total := inst.TotalDemand()
+	report := &ValidationReport{ModelCost: model.TotalServingCost(inst, sol.Routing)}
+	if total <= 0 {
+		report.RealizedCost = report.ModelCost
+		return report, nil
+	}
+	scale := float64(opts.Requests) / total
+	scaled := make([][]float64, inst.U)
+	for u := range scaled {
+		scaled[u] = make([]float64, inst.F)
+		for f := range scaled[u] {
+			scaled[u][f] = inst.Demand[u][f] * scale
+		}
+	}
+	stream, err := trace.Stream(scaled, 1, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(stream) == 0 {
+		report.RealizedCost = model.CostBreakdown{}
+		report.RelativeError = relErr(0, report.ModelCost.Total)
+		return report, nil
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	unit := 1 / scale // demand units represented by one request
+	bandwidthLeft := make([]float64, inst.N)
+	for n := range bandwidthLeft {
+		bandwidthLeft[n] = inst.Bandwidth[n]
+	}
+
+	var cost model.CostBreakdown
+	for _, req := range stream {
+		report.Requests++
+		// Dispatch by routing shares: SBS n gets the request with
+		// probability y_nuf (shares sum to ≤ 1; the remainder is BS).
+		u := rng.Float64()
+		served := false
+		for n := 0; n < inst.N; n++ {
+			if !inst.Links[n][req.Group] {
+				continue
+			}
+			share := sol.Routing.Route[n][req.Group][req.Content]
+			if share <= 0 {
+				continue
+			}
+			if u < share {
+				if bandwidthLeft[n] >= unit {
+					bandwidthLeft[n] -= unit
+					cost.Edge += inst.EdgeCost[n][req.Group] * unit
+					report.EdgeServed++
+				} else {
+					cost.Backhaul += inst.BSCost[req.Group] * unit
+					report.Fallbacks++
+				}
+				served = true
+				break
+			}
+			u -= share
+		}
+		if !served {
+			cost.Backhaul += inst.BSCost[req.Group] * unit
+		}
+	}
+	// Normalize the realized cost to the exact demand mass (the Poisson
+	// expansion realizes slightly more or less than `total`).
+	factor := total / (float64(len(stream)) * unit)
+	cost.Edge *= factor
+	cost.Backhaul *= factor
+	cost.Total = cost.Edge + cost.Backhaul
+
+	report.RealizedCost = cost
+	report.RelativeError = relErr(cost.Total, report.ModelCost.Total)
+	return report, nil
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}

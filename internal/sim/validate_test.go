@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgecache/internal/core"
+	"edgecache/internal/model"
+)
+
+func TestValidatePolicyAgreesWithFluidModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	inst := randomInstance(rng, 3, 8, 10)
+	coord, err := core.NewCoordinator(inst, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := ValidatePolicy(inst, res.Solution, ValidateOptions{Requests: 40000, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests == 0 {
+		t.Fatal("no requests replayed")
+	}
+	// The packet-level realization should track the fluid model within a
+	// few percent at this stream length.
+	if report.RelativeError > 0.05 {
+		t.Errorf("fluid-vs-packet error %.2f%% (model %v, realized %v)",
+			report.RelativeError*100, report.ModelCost.Total, report.RealizedCost.Total)
+	}
+	// Bandwidth was sized by the model, so fallbacks must be rare.
+	if frac := float64(report.Fallbacks) / float64(report.Requests); frac > 0.02 {
+		t.Errorf("fallback fraction %.3f, want < 2%%", frac)
+	}
+}
+
+func TestValidatePolicyEmptyRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	inst := randomInstance(rng, 2, 4, 5)
+	sol := &model.Solution{
+		Caching: model.NewCachingPolicy(inst),
+		Routing: model.NewRoutingPolicy(inst),
+	}
+	report, err := ValidatePolicy(inst, sol, ValidateOptions{Requests: 5000, Seed: 54})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.EdgeServed != 0 {
+		t.Errorf("empty policy served %d requests at the edge", report.EdgeServed)
+	}
+	// Everything over the backhaul: realized ≈ W. The Poisson expansion
+	// redistributes mass across MU groups with different d̂_u, so the
+	// realized total wobbles slightly even after mass normalization.
+	if report.RelativeError > 0.01 {
+		t.Errorf("relative error %v for the all-backhaul case, want < 1%%", report.RelativeError)
+	}
+}
+
+func TestValidatePolicyZeroDemand(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	inst := randomInstance(rng, 2, 3, 4)
+	for u := range inst.Demand {
+		for f := range inst.Demand[u] {
+			inst.Demand[u][f] = 0
+		}
+	}
+	sol := &model.Solution{
+		Caching: model.NewCachingPolicy(inst),
+		Routing: model.NewRoutingPolicy(inst),
+	}
+	report, err := ValidatePolicy(inst, sol, ValidateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.RealizedCost.Total != 0 {
+		t.Errorf("zero demand realized cost %v", report.RealizedCost.Total)
+	}
+}
+
+func TestValidatePolicyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	inst := randomInstance(rng, 2, 3, 4)
+	if _, err := ValidatePolicy(inst, nil, ValidateOptions{}); err == nil {
+		t.Error("nil solution: want error")
+	}
+	if _, err := ValidatePolicy(&model.Instance{N: 0}, &model.Solution{}, ValidateOptions{}); err == nil {
+		t.Error("invalid instance: want error")
+	}
+}
+
+func TestValidatePolicyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	inst := randomInstance(rng, 2, 4, 5)
+	coord, err := core.NewCoordinator(inst, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ValidatePolicy(inst, res.Solution, ValidateOptions{Requests: 2000, Seed: 58})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ValidatePolicy(inst, res.Solution, ValidateOptions{Requests: 2000, Seed: 58})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RealizedCost.Total != b.RealizedCost.Total {
+		t.Error("same seed produced different realized costs")
+	}
+}

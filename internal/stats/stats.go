@@ -1,0 +1,135 @@
+// Package stats provides the summary statistics the experiment harness
+// uses to aggregate runs over random seeds.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator), or NaN
+// for fewer than two values.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the smallest value, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between order statistics, or NaN for an empty slice or
+// out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CI95HalfWidth returns the half-width of a normal-approximation 95%
+// confidence interval for the mean (1.96·s/√n), or NaN for fewer than two
+// values.
+func CI95HalfWidth(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Summary bundles the descriptive statistics of one sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P95      float64
+	CI95HalfWidth float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:             len(xs),
+		Mean:          Mean(xs),
+		Std:           StdDev(xs),
+		Min:           Min(xs),
+		Max:           Max(xs),
+		P50:           Percentile(xs, 50),
+		P95:           Percentile(xs, 95),
+		CI95HalfWidth: CI95HalfWidth(xs),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g std=%.4g min=%.4g p50=%.4g p95=%.4g max=%.4g",
+		s.N, s.Mean, s.CI95HalfWidth, s.Std, s.Min, s.P50, s.P95, s.Max)
+}
+
+// RelativeChange returns (a−b)/b, the relative difference of a versus the
+// reference b. The experiment harness uses it for "x% more than optimum"
+// style figures. Returns NaN when b is zero.
+func RelativeChange(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return (a - b) / b
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := 2.138089935299395 // sample std (n−1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if !math.IsNaN(StdDev([]float64{1})) {
+		t.Error("StdDev of one value should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v, want -1/7", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile of empty should be NaN")
+	}
+	if !math.IsNaN(Percentile(xs, -1)) || !math.IsNaN(Percentile(xs, 101)) {
+		t.Error("out-of-range p should be NaN")
+	}
+	if got := Percentile([]float64{42}, 73); got != 42 {
+		t.Errorf("Percentile of singleton = %v, want 42", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestCI95HalfWidth(t *testing.T) {
+	xs := []float64{10, 12, 14, 16}
+	want := 1.96 * StdDev(xs) / 2
+	if got := CI95HalfWidth(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CI95HalfWidth = %v, want %v", got, want)
+	}
+	if !math.IsNaN(CI95HalfWidth([]float64{1})) {
+		t.Error("CI95 of one value should be NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.P50 != 2 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if len(s.String()) == 0 {
+		t.Error("String() empty")
+	}
+}
+
+func TestRelativeChange(t *testing.T) {
+	if got := RelativeChange(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeChange = %v, want 0.1", got)
+	}
+	if !math.IsNaN(RelativeChange(1, 0)) {
+		t.Error("RelativeChange with zero base should be NaN")
+	}
+}
+
+// Property: Min ≤ P50 ≤ Max and Min ≤ Mean ≤ Max.
+func TestOrderingProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		mn, mx := Min(xs), Max(xs)
+		med := Percentile(xs, 50)
+		mean := Mean(xs)
+		return mn <= med+1e-9 && med <= mx+1e-9 && mn <= mean+1e-9 && mean <= mx+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

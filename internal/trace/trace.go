@@ -1,0 +1,256 @@
+// Package trace generates request workloads for the edge-caching
+// experiments.
+//
+// The paper evaluates on a real trace: the view counts of the top-50
+// trending videos of a well-known streaming site over 30 minutes on
+// Dec 18 2018 (its Fig. 2 shows the first 20, with a head above 140,000
+// views and a tail of a few thousand). That trace is not publicly
+// available, so this package synthesizes an equivalent: a Zipf-shaped
+// view-count vector calibrated to the same head and tail magnitudes, plus
+// the machinery the experiments need around it — distributing each video's
+// requests over MU groups and expanding the demand matrix into a
+// time-ordered reference stream for cache-replacement baselines.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TrendingConfig parameterizes the synthetic trending-video trace.
+type TrendingConfig struct {
+	// Videos is the number of contents (the paper records 50).
+	Videos int
+	// HeadViews is the view count of the most popular video
+	// (the paper's head exceeds 140,000).
+	HeadViews float64
+	// Exponent is the Zipf decay exponent s in views ∝ rank^(-s).
+	// With Videos=50 and HeadViews≈150,000, s≈1.1 lands the tail in the
+	// low thousands, matching Fig. 2.
+	Exponent float64
+	// Jitter is the multiplicative log-normal noise applied to each rank so
+	// the curve is realistically ragged rather than a perfect power law.
+	// 0 disables noise; 0.15 reproduces Fig. 2's raggedness.
+	Jitter float64
+	// Seed drives the jitter; traces are deterministic given a seed.
+	Seed int64
+}
+
+// DefaultTrendingConfig returns the configuration used throughout the
+// experiment harness, calibrated to the paper's Fig. 2.
+func DefaultTrendingConfig() TrendingConfig {
+	return TrendingConfig{
+		Videos:    50,
+		HeadViews: 150000,
+		Exponent:  1.1,
+		Jitter:    0.15,
+		Seed:      2018_12_18,
+	}
+}
+
+// TrendingVideos synthesizes the view-count vector, sorted by rank
+// (most-viewed first). All counts are strictly positive.
+func TrendingVideos(cfg TrendingConfig) ([]float64, error) {
+	if cfg.Videos <= 0 {
+		return nil, fmt.Errorf("trace: Videos must be positive, got %d", cfg.Videos)
+	}
+	if cfg.HeadViews <= 0 {
+		return nil, fmt.Errorf("trace: HeadViews must be positive, got %v", cfg.HeadViews)
+	}
+	if cfg.Exponent < 0 {
+		return nil, fmt.Errorf("trace: Exponent must be non-negative, got %v", cfg.Exponent)
+	}
+	if cfg.Jitter < 0 {
+		return nil, fmt.Errorf("trace: Jitter must be non-negative, got %v", cfg.Jitter)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	views := make([]float64, cfg.Videos)
+	for k := range views {
+		v := cfg.HeadViews * math.Pow(float64(k+1), -cfg.Exponent)
+		if cfg.Jitter > 0 {
+			v *= math.Exp(rng.NormFloat64() * cfg.Jitter)
+		}
+		if v < 1 {
+			v = 1
+		}
+		views[k] = math.Round(v)
+	}
+	// Jitter can locally reorder ranks; the trace reports videos by
+	// popularity rank, so restore monotone non-increasing order.
+	sort.Sort(sort.Reverse(sort.Float64Slice(views)))
+	return views, nil
+}
+
+// Zipf returns n weights following a Zipf distribution with exponent s,
+// normalized to sum to 1. It is the popularity model used by the synthetic
+// workload generators.
+func Zipf(n int, s float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: n must be positive, got %d", n)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("trace: exponent must be non-negative, got %v", s)
+	}
+	w := make([]float64, n)
+	var sum float64
+	for k := range w {
+		w[k] = math.Pow(float64(k+1), -s)
+		sum += w[k]
+	}
+	for k := range w {
+		w[k] /= sum
+	}
+	return w, nil
+}
+
+// DemandMatrix distributes per-content view counts across U MU groups and
+// returns the U×F demand matrix λ. Each content's views are split with
+// random proportions (a symmetric Dirichlet via normalized exponentials),
+// matching the paper's "we further distributed requests randomly among
+// MUs". Scale multiplies every entry; the experiments use it to convert raw
+// 30-minute view counts into request units commensurate with the SBS
+// bandwidths (see EXPERIMENTS.md for the calibration).
+func DemandMatrix(views []float64, groups int, scale float64, seed int64) ([][]float64, error) {
+	if groups <= 0 {
+		return nil, fmt.Errorf("trace: groups must be positive, got %d", groups)
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("trace: scale must be positive, got %v", scale)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	demand := make([][]float64, groups)
+	for u := range demand {
+		demand[u] = make([]float64, len(views))
+	}
+	weights := make([]float64, groups)
+	for f, total := range views {
+		if total < 0 {
+			return nil, fmt.Errorf("trace: views[%d] = %v is negative", f, total)
+		}
+		var sum float64
+		for u := range weights {
+			weights[u] = rng.ExpFloat64()
+			sum += weights[u]
+		}
+		for u := range weights {
+			demand[u][f] = total * scale * weights[u] / sum
+		}
+	}
+	return demand, nil
+}
+
+// Request is one content reference in a replayable stream.
+type Request struct {
+	// Time is the reference timestamp in abstract time units.
+	Time float64
+	// Group is the MU group issuing the request.
+	Group int
+	// Content is the requested content.
+	Content int
+}
+
+// Stream expands a demand matrix into a time-ordered reference stream over
+// the given horizon. Each (u,f) demand of λ requests becomes a Poisson
+// process of rate λ/horizon; the merged stream is sorted by time. Streams
+// are what cache-replacement baselines such as LRFU consume.
+//
+// The expected stream length is Σλ; callers should scale demands down
+// before expanding very large matrices.
+func Stream(demand [][]float64, horizon float64, seed int64) ([]Request, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("trace: horizon must be positive, got %v", horizon)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var reqs []Request
+	for u, row := range demand {
+		for f, lambda := range row {
+			if lambda < 0 {
+				return nil, fmt.Errorf("trace: demand[%d][%d] = %v is negative", u, f, lambda)
+			}
+			// Sample arrivals of a Poisson process with rate lambda/horizon
+			// on [0, horizon) by accumulating exponential gaps.
+			rate := lambda / horizon
+			if rate <= 0 {
+				continue
+			}
+			t := rng.ExpFloat64() / rate
+			for t < horizon {
+				reqs = append(reqs, Request{Time: t, Group: u, Content: f})
+				t += rng.ExpFloat64() / rate
+			}
+		}
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Time < reqs[j].Time })
+	return reqs, nil
+}
+
+// DiurnalProfile returns per-slot demand multipliers following a smooth
+// day/night curve: a raised cosine oscillating between trough and peak
+// over one full period across the slots, starting at the phase offset (in
+// slots). It feeds the time-slotted studies in internal/dynamic with a
+// more realistic load pattern than constant demand.
+func DiurnalProfile(slots int, trough, peak, phase float64) ([]float64, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("trace: slots must be positive, got %d", slots)
+	}
+	if trough < 0 || peak < trough {
+		return nil, fmt.Errorf("trace: need 0 ≤ trough ≤ peak, got %v and %v", trough, peak)
+	}
+	out := make([]float64, slots)
+	for t := range out {
+		// Raised cosine in [0,1], peak at phase.
+		x := (math.Cos(2*math.Pi*(float64(t)-phase)/float64(slots)) + 1) / 2
+		out[t] = trough + (peak-trough)*x
+	}
+	return out, nil
+}
+
+// ScaleDemand returns a copy of the demand matrix multiplied by factor.
+func ScaleDemand(demand [][]float64, factor float64) ([][]float64, error) {
+	if factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("trace: factor must be finite and non-negative, got %v", factor)
+	}
+	out := make([][]float64, len(demand))
+	for u := range demand {
+		out[u] = make([]float64, len(demand[u]))
+		for f, v := range demand[u] {
+			out[u][f] = v * factor
+		}
+	}
+	return out, nil
+}
+
+// Popularity returns the per-content total demand Σ_u λ_uf of a demand
+// matrix.
+func Popularity(demand [][]float64) []float64 {
+	if len(demand) == 0 {
+		return nil
+	}
+	pop := make([]float64, len(demand[0]))
+	for _, row := range demand {
+		for f, v := range row {
+			pop[f] += v
+		}
+	}
+	return pop
+}
+
+// TopContents returns the indices of the k most demanded contents in
+// decreasing popularity order (ties broken by lower index).
+func TopContents(demand [][]float64, k int) []int {
+	pop := Popularity(demand)
+	idx := make([]int, len(pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return pop[idx[a]] > pop[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return idx[:k]
+}

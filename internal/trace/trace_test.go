@@ -1,0 +1,341 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrendingVideosShape(t *testing.T) {
+	cfg := DefaultTrendingConfig()
+	views, err := TrendingVideos(cfg)
+	if err != nil {
+		t.Fatalf("TrendingVideos: %v", err)
+	}
+	if len(views) != 50 {
+		t.Fatalf("len(views) = %d, want 50", len(views))
+	}
+	// The paper's Fig. 2: head above 140k views, tail a few thousand.
+	if views[0] < 100000 || views[0] > 300000 {
+		t.Errorf("head views = %v, want roughly 150k", views[0])
+	}
+	if views[49] > 20000 || views[49] < 100 {
+		t.Errorf("tail views = %v, want low thousands", views[49])
+	}
+	for k := 1; k < len(views); k++ {
+		if views[k] > views[k-1] {
+			t.Fatalf("views not sorted by rank: views[%d]=%v > views[%d]=%v", k, views[k], k-1, views[k-1])
+		}
+	}
+	for k, v := range views {
+		if v < 1 {
+			t.Fatalf("views[%d] = %v, want ≥ 1", k, v)
+		}
+	}
+}
+
+func TestTrendingVideosDeterministic(t *testing.T) {
+	cfg := DefaultTrendingConfig()
+	a, err := TrendingVideos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrendingVideos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("trace not deterministic at rank %d: %v vs %v", k, a[k], b[k])
+		}
+	}
+	cfg.Seed++
+	c, err := TrendingVideos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for k := range a {
+		if a[k] != c[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jittered traces")
+	}
+}
+
+func TestTrendingVideosNoJitterIsPowerLaw(t *testing.T) {
+	views, err := TrendingVideos(TrendingConfig{Videos: 10, HeadViews: 1000, Exponent: 1, Jitter: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range views {
+		want := math.Round(1000 / float64(k+1))
+		if v != want {
+			t.Errorf("views[%d] = %v, want %v", k, v, want)
+		}
+	}
+}
+
+func TestTrendingVideosErrors(t *testing.T) {
+	bad := []TrendingConfig{
+		{Videos: 0, HeadViews: 1, Exponent: 1},
+		{Videos: 5, HeadViews: 0, Exponent: 1},
+		{Videos: 5, HeadViews: 1, Exponent: -1},
+		{Videos: 5, HeadViews: 1, Exponent: 1, Jitter: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := TrendingVideos(cfg); err == nil {
+			t.Errorf("case %d: TrendingVideos(%+v) = nil error, want error", i, cfg)
+		}
+	}
+}
+
+func TestZipf(t *testing.T) {
+	w, err := Zipf(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("Zipf weights sum = %v, want 1", sum)
+	}
+	// w_k ∝ 1/k: w[0]/w[1] = 2.
+	if math.Abs(w[0]/w[1]-2) > 1e-12 {
+		t.Errorf("w[0]/w[1] = %v, want 2", w[0]/w[1])
+	}
+
+	if _, err := Zipf(0, 1); err == nil {
+		t.Error("Zipf(0,1) = nil error, want error")
+	}
+	if _, err := Zipf(3, -2); err == nil {
+		t.Error("Zipf(3,-2) = nil error, want error")
+	}
+}
+
+func TestZipfUniformWhenZeroExponent(t *testing.T) {
+	w, err := Zipf(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range w {
+		if math.Abs(v-0.2) > 1e-12 {
+			t.Fatalf("Zipf(5,0) = %v, want uniform 0.2", w)
+		}
+	}
+}
+
+func TestDemandMatrixConservesMass(t *testing.T) {
+	views := []float64{100, 50, 10}
+	demand, err := DemandMatrix(views, 7, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(demand) != 7 || len(demand[0]) != 3 {
+		t.Fatalf("demand shape = %dx%d, want 7x3", len(demand), len(demand[0]))
+	}
+	for f, total := range views {
+		var sum float64
+		for u := 0; u < 7; u++ {
+			if demand[u][f] < 0 {
+				t.Fatalf("demand[%d][%d] negative", u, f)
+			}
+			sum += demand[u][f]
+		}
+		if math.Abs(sum-total*0.5) > 1e-9 {
+			t.Errorf("content %d mass = %v, want %v", f, sum, total*0.5)
+		}
+	}
+}
+
+// Property: mass conservation holds for arbitrary view vectors.
+func TestDemandMatrixMassProperty(t *testing.T) {
+	prop := func(raw []uint16, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		views := make([]float64, len(raw))
+		var total float64
+		for i, v := range raw {
+			views[i] = float64(v)
+			total += float64(v)
+		}
+		demand, err := DemandMatrix(views, 5, 1, seed)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, row := range demand {
+			for _, v := range row {
+				if v < 0 {
+					return false
+				}
+				sum += v
+			}
+		}
+		return math.Abs(sum-total) <= 1e-6*(1+total)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDemandMatrixErrors(t *testing.T) {
+	if _, err := DemandMatrix([]float64{1}, 0, 1, 1); err == nil {
+		t.Error("groups=0: want error")
+	}
+	if _, err := DemandMatrix([]float64{1}, 2, 0, 1); err == nil {
+		t.Error("scale=0: want error")
+	}
+	if _, err := DemandMatrix([]float64{-1}, 2, 1, 1); err == nil {
+		t.Error("negative views: want error")
+	}
+}
+
+func TestStream(t *testing.T) {
+	demand := [][]float64{{30, 0}, {0, 20}}
+	reqs, err := Stream(demand, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected 50 requests; Poisson noise makes this stochastic, so accept
+	// a wide band that would only fail on a broken generator.
+	if len(reqs) < 20 || len(reqs) > 100 {
+		t.Fatalf("stream length = %d, want ≈50", len(reqs))
+	}
+	last := -1.0
+	counts := map[[2]int]int{}
+	for _, r := range reqs {
+		if r.Time < last {
+			t.Fatal("stream not sorted by time")
+		}
+		last = r.Time
+		if r.Time < 0 || r.Time >= 10 {
+			t.Fatalf("request time %v outside [0,10)", r.Time)
+		}
+		counts[[2]int{r.Group, r.Content}]++
+	}
+	if counts[[2]int{0, 1}] != 0 || counts[[2]int{1, 0}] != 0 {
+		t.Fatal("stream contains requests for zero-demand cells")
+	}
+	if counts[[2]int{0, 0}] == 0 || counts[[2]int{1, 1}] == 0 {
+		t.Fatal("stream missing requests for positive-demand cells")
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	if _, err := Stream([][]float64{{1}}, 0, 1); err == nil {
+		t.Error("horizon=0: want error")
+	}
+	if _, err := Stream([][]float64{{-1}}, 1, 1); err == nil {
+		t.Error("negative demand: want error")
+	}
+}
+
+func TestStreamEmptyDemand(t *testing.T) {
+	reqs, err := Stream([][]float64{{0, 0}}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 0 {
+		t.Fatalf("zero demand produced %d requests", len(reqs))
+	}
+}
+
+func TestDiurnalProfile(t *testing.T) {
+	prof, err := DiurnalProfile(24, 0.5, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 24 {
+		t.Fatalf("len = %d, want 24", len(prof))
+	}
+	if math.Abs(prof[0]-2.0) > 1e-12 {
+		t.Errorf("peak at phase 0 = %v, want 2", prof[0])
+	}
+	if math.Abs(prof[12]-0.5) > 1e-12 {
+		t.Errorf("trough opposite phase = %v, want 0.5", prof[12])
+	}
+	for t2, v := range prof {
+		if v < 0.5-1e-12 || v > 2.0+1e-12 {
+			t.Fatalf("prof[%d] = %v outside [trough,peak]", t2, v)
+		}
+	}
+	// Phase shift moves the peak.
+	shifted, err := DiurnalProfile(24, 0.5, 2.0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(shifted[6]-2.0) > 1e-12 {
+		t.Errorf("peak at phase 6 = %v, want 2", shifted[6])
+	}
+	if _, err := DiurnalProfile(0, 0.5, 2, 0); err == nil {
+		t.Error("zero slots: want error")
+	}
+	if _, err := DiurnalProfile(10, -1, 2, 0); err == nil {
+		t.Error("negative trough: want error")
+	}
+	if _, err := DiurnalProfile(10, 3, 2, 0); err == nil {
+		t.Error("peak < trough: want error")
+	}
+}
+
+func TestScaleDemand(t *testing.T) {
+	d := [][]float64{{1, 2}, {3, 0}}
+	got, err := ScaleDemand(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][1] != 4 || got[1][0] != 6 {
+		t.Errorf("scaled = %v", got)
+	}
+	if d[0][1] != 2 {
+		t.Error("ScaleDemand mutated its input")
+	}
+	if _, err := ScaleDemand(d, -1); err == nil {
+		t.Error("negative factor: want error")
+	}
+	if _, err := ScaleDemand(d, math.Inf(1)); err == nil {
+		t.Error("infinite factor: want error")
+	}
+}
+
+func TestPopularityAndTopContents(t *testing.T) {
+	demand := [][]float64{
+		{1, 5, 2},
+		{1, 5, 9},
+	}
+	pop := Popularity(demand)
+	want := []float64{2, 10, 11}
+	for f := range want {
+		if pop[f] != want[f] {
+			t.Errorf("Popularity[%d] = %v, want %v", f, pop[f], want[f])
+		}
+	}
+	top := TopContents(demand, 2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 1 {
+		t.Errorf("TopContents(2) = %v, want [2 1]", top)
+	}
+	if got := TopContents(demand, 10); len(got) != 3 {
+		t.Errorf("TopContents(10) length = %d, want 3", len(got))
+	}
+	if got := TopContents(demand, -1); len(got) != 0 {
+		t.Errorf("TopContents(-1) length = %d, want 0", len(got))
+	}
+	if got := Popularity(nil); got != nil {
+		t.Errorf("Popularity(nil) = %v, want nil", got)
+	}
+}
+
+func TestTopContentsTieBreak(t *testing.T) {
+	demand := [][]float64{{3, 3, 3}}
+	top := TopContents(demand, 3)
+	if top[0] != 0 || top[1] != 1 || top[2] != 2 {
+		t.Errorf("tie-break order = %v, want [0 1 2]", top)
+	}
+}

@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"context"
+	"sync"
+)
+
+// Stats is a snapshot of a CountingEndpoint's traffic counters.
+type Stats struct {
+	// SentMessages/RecvMessages count Send and Recv completions;
+	// SentBytes/RecvBytes sum the payload sizes (protocol headers are
+	// transport-specific and excluded, so the numbers are comparable
+	// between the in-memory and TCP transports).
+	SentMessages, RecvMessages int64
+	SentBytes, RecvBytes       int64
+}
+
+// CountingEndpoint wraps an Endpoint with traffic accounting. The
+// distributed runtime uses it to report how much routing information
+// actually crosses the network — the quantity LPPM is protecting.
+type CountingEndpoint struct {
+	inner Endpoint
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+var _ Endpoint = (*CountingEndpoint)(nil)
+
+// NewCountingEndpoint wraps inner.
+func NewCountingEndpoint(inner Endpoint) *CountingEndpoint {
+	return &CountingEndpoint{inner: inner}
+}
+
+// Name implements Endpoint.
+func (e *CountingEndpoint) Name() string { return e.inner.Name() }
+
+// Send implements Endpoint, counting successful sends.
+func (e *CountingEndpoint) Send(ctx context.Context, to string, m Message) error {
+	if err := e.inner.Send(ctx, to, m); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.stats.SentMessages++
+	e.stats.SentBytes += int64(len(m.Payload))
+	e.mu.Unlock()
+	return nil
+}
+
+// Recv implements Endpoint, counting successful receives.
+func (e *CountingEndpoint) Recv(ctx context.Context) (Message, error) {
+	m, err := e.inner.Recv(ctx)
+	if err != nil {
+		return m, err
+	}
+	e.mu.Lock()
+	e.stats.RecvMessages++
+	e.stats.RecvBytes += int64(len(m.Payload))
+	e.mu.Unlock()
+	return m, nil
+}
+
+// Close implements Endpoint.
+func (e *CountingEndpoint) Close() error { return e.inner.Close() }
+
+// Stats returns a snapshot of the counters.
+func (e *CountingEndpoint) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}

@@ -1,0 +1,63 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame hardens the TCP wire format: arbitrary inbound bytes must
+// produce an error or a valid message, never a panic or an unbounded
+// allocation. Run with `go test -fuzz=FuzzReadFrame ./internal/transport`.
+func FuzzReadFrame(f *testing.F) {
+	valid, err := encodeFrame(Message{Type: MsgPhaseStart, Sweep: 1, Payload: []byte("x")})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:2])                      // truncated header
+	f.Add(valid[:len(valid)-1])           // truncated body
+	f.Add([]byte{})                       // empty
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // absurd length prefix
+	f.Add(append(valid[:4], 0xde, 0xad))  // valid length, garbage body
+	huge := make([]byte, 8)
+	binary.BigEndian.PutUint32(huge, maxFrameSize+1)
+	f.Add(huge) // over-limit length prefix
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if msg.Type == 0 {
+			t.Fatal("readFrame returned a zero-type message without error")
+		}
+		// A decoded message must survive re-encoding.
+		if _, err := encodeFrame(msg); err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodePayload hardens the payload codec used by both transports.
+func FuzzDecodePayload(f *testing.F) {
+	agg, err := EncodePayload(AggregateAnnounce{YMinus: [][]float64{{0.5, 0}, {1, 0.25}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	up, err := EncodePayload(PolicyUpload{Cache: []bool{true}, Routing: [][]float64{{0.5}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(agg)
+	f.Add(up)
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a AggregateAnnounce
+		_ = DecodePayload(data, &a) // must not panic
+		var p PolicyUpload
+		_ = DecodePayload(data, &p) // must not panic
+	})
+}

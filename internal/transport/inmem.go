@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Hub is an in-memory network: endpoints register by name and exchange
+// messages through buffered channels. It is the default transport for
+// tests, benchmarks and single-process simulations.
+type Hub struct {
+	mu        sync.Mutex
+	endpoints map[string]*InmemEndpoint
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{endpoints: make(map[string]*InmemEndpoint)}
+}
+
+// Register creates an endpoint with the given name and inbound buffer.
+// Registering a duplicate name fails.
+func (h *Hub) Register(name string, buffer int) (*InmemEndpoint, error) {
+	if name == "" {
+		return nil, fmt.Errorf("transport: endpoint name must be non-empty")
+	}
+	if buffer < 0 {
+		return nil, fmt.Errorf("transport: buffer must be non-negative, got %d", buffer)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.endpoints[name]; ok {
+		return nil, fmt.Errorf("transport: endpoint %q already registered", name)
+	}
+	ep := &InmemEndpoint{hub: h, name: name, inbox: make(chan Message, buffer)}
+	h.endpoints[name] = ep
+	return ep, nil
+}
+
+// lookup returns the endpoint registered under name.
+func (h *Hub) lookup(name string) (*InmemEndpoint, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ep, ok := h.endpoints[name]
+	return ep, ok
+}
+
+// remove unregisters a closed endpoint.
+func (h *Hub) remove(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.endpoints, name)
+}
+
+// InmemEndpoint is a hub-attached endpoint.
+type InmemEndpoint struct {
+	hub  *Hub
+	name string
+
+	mu     sync.Mutex
+	closed bool
+	inbox  chan Message
+}
+
+var _ Endpoint = (*InmemEndpoint)(nil)
+
+// Name implements Endpoint.
+func (e *InmemEndpoint) Name() string { return e.name }
+
+// Send implements Endpoint.
+func (e *InmemEndpoint) Send(ctx context.Context, to string, m Message) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	peer, ok := e.hub.lookup(to)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	m.From = e.name
+	m.To = to
+	return peer.deliver(ctx, m)
+}
+
+// deliver places a message in the inbox, respecting the context and the
+// peer's closed state.
+func (e *InmemEndpoint) deliver(ctx context.Context, m Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: peer %q", ErrClosed, e.name)
+	}
+	inbox := e.inbox
+	e.mu.Unlock()
+	select {
+	case inbox <- m:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Recv implements Endpoint.
+func (e *InmemEndpoint) Recv(ctx context.Context) (Message, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return Message{}, ErrClosed
+	}
+	inbox := e.inbox
+	e.mu.Unlock()
+	select {
+	case m, ok := <-inbox:
+		if !ok {
+			return Message{}, ErrClosed
+		}
+		return m, nil
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+// Close implements Endpoint. In-flight deliveries racing Close may be
+// dropped, which mirrors a real socket teardown.
+func (e *InmemEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.hub.remove(e.name)
+	return nil
+}
+
+// FaultConfig describes the failure behaviour of a FaultyEndpoint.
+type FaultConfig struct {
+	// DropProb and DupProb are per-Send probabilities of silently dropping
+	// or duplicating the message.
+	DropProb, DupProb float64
+	// MaxDelay, when positive, sleeps a uniform random duration up to this
+	// bound before each delivery (reordering emerges from concurrency).
+	MaxDelay time.Duration
+	// Seed drives the fault randomness.
+	Seed int64
+}
+
+// Validate checks probability ranges.
+func (c FaultConfig) Validate() error {
+	if c.DropProb < 0 || c.DropProb > 1 || c.DupProb < 0 || c.DupProb > 1 {
+		return fmt.Errorf("transport: fault probabilities must be in [0,1], got drop=%v dup=%v",
+			c.DropProb, c.DupProb)
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("transport: MaxDelay must be non-negative, got %v", c.MaxDelay)
+	}
+	return nil
+}
+
+// FaultyEndpoint wraps an endpoint with message dropping, duplication and
+// delay on the send path. Receives pass through untouched.
+type FaultyEndpoint struct {
+	inner Endpoint
+	cfg   FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ Endpoint = (*FaultyEndpoint)(nil)
+
+// NewFaultyEndpoint wraps inner with the given fault model.
+func NewFaultyEndpoint(inner Endpoint, cfg FaultConfig) (*FaultyEndpoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &FaultyEndpoint{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Name implements Endpoint.
+func (e *FaultyEndpoint) Name() string { return e.inner.Name() }
+
+// Send implements Endpoint with fault injection.
+func (e *FaultyEndpoint) Send(ctx context.Context, to string, m Message) error {
+	e.mu.Lock()
+	drop := e.rng.Float64() < e.cfg.DropProb
+	dup := e.rng.Float64() < e.cfg.DupProb
+	var delay time.Duration
+	if e.cfg.MaxDelay > 0 {
+		delay = time.Duration(e.rng.Int63n(int64(e.cfg.MaxDelay)))
+	}
+	e.mu.Unlock()
+
+	if drop {
+		return nil // silently lost
+	}
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+	}
+	if err := e.inner.Send(ctx, to, m); err != nil {
+		return err
+	}
+	if dup {
+		return e.inner.Send(ctx, to, m)
+	}
+	return nil
+}
+
+// Recv implements Endpoint.
+func (e *FaultyEndpoint) Recv(ctx context.Context) (Message, error) { return e.inner.Recv(ctx) }
+
+// Close implements Endpoint.
+func (e *FaultyEndpoint) Close() error { return e.inner.Close() }
