@@ -183,7 +183,7 @@ func BenchmarkSubproblemSolve(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	yMinus := inst.NewZeroMatrix()
+	yMinus := inst.NewUFMat()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sub.Solve(yMinus); err != nil {

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"edgecache/internal/core"
+	"edgecache/internal/model"
+)
+
+// BenchResult is one microbenchmark measurement in the -bench-json output.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchReport is the JSON document -bench-json writes. The scales mirror
+// internal/core's BenchmarkSweep (same instance distribution and seed), so
+// numbers are directly comparable with `go test -bench Sweep ./internal/core/`
+// runs at any commit.
+type BenchReport struct {
+	Description string        `json:"description"`
+	Results     []BenchResult `json:"results"`
+}
+
+// benchInstance draws the benchmark instance exactly like internal/core's
+// benchScale (seed 99, ~60% link density, d̂ ≫ d, skewed demand), keeping
+// -bench-json numbers comparable with the test-binary benchmarks.
+func benchInstance(n, u, f int) *model.Instance {
+	rng := rand.New(rand.NewSource(99))
+	inst := &model.Instance{
+		N: n, U: u, F: f,
+		Demand:    make([][]float64, u),
+		Links:     make([][]bool, n),
+		CacheCap:  make([]int, n),
+		Bandwidth: make([]float64, n),
+		EdgeCost:  make([][]float64, n),
+		BSCost:    make([]float64, u),
+	}
+	for i := 0; i < u; i++ {
+		inst.Demand[i] = make([]float64, f)
+		for j := 0; j < f; j++ {
+			if rng.Float64() < 0.7 {
+				inst.Demand[i][j] = rng.Float64() * 20
+			}
+		}
+		inst.BSCost[i] = 100 + rng.Float64()*50
+	}
+	for i := 0; i < n; i++ {
+		inst.Links[i] = make([]bool, u)
+		inst.EdgeCost[i] = make([]float64, u)
+		for j := 0; j < u; j++ {
+			inst.Links[i][j] = rng.Float64() < 0.6
+			inst.EdgeCost[i][j] = 1 + rng.Float64()*3
+		}
+		inst.CacheCap[i] = 1 + rng.Intn(f)
+		inst.Bandwidth[i] = 5 + rng.Float64()*40
+	}
+	return inst
+}
+
+// runBenchJSON executes the tensor-layer benchmarks in-process and writes
+// the measurements as JSON to path ("-" for stdout).
+func runBenchJSON(path string) error {
+	type scale struct {
+		name    string
+		n, u, f int
+		sweeps  int
+	}
+	scales := []scale{
+		{"Sweep/paper_N3_U30_F50", 3, 30, 50, 4},
+		{"Sweep/scaled_N20_U200_F500", 20, 200, 500, 2},
+	}
+
+	// Fail on an unwritable destination before spending half a minute
+	// measuring.
+	var dst *os.File
+	if path == "-" {
+		dst = os.Stdout
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		dst = f
+		defer f.Close()
+	}
+
+	report := BenchReport{
+		Description: "DUA hot-path microbenchmarks (flat-tensor substrate); " +
+			"instance distribution matches internal/core BenchmarkSweep (seed 99)",
+	}
+
+	for _, sc := range scales {
+		fmt.Fprintf(os.Stderr, "benchfig: measuring %s ...\n", sc.name)
+		inst := benchInstance(sc.n, sc.u, sc.f)
+		cfg := core.DefaultConfig()
+		cfg.MaxSweeps = sc.sweeps
+		cfg.Gamma = 1e-300 // exhaust the sweep budget: fixed work per op
+		coord, err := core.NewCoordinator(inst, cfg)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", sc.name, err)
+		}
+		var runErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.Run(); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return fmt.Errorf("bench %s: %w", sc.name, runErr)
+		}
+		report.Results = append(report.Results, toResult(sc.name, res))
+	}
+
+	fmt.Fprintln(os.Stderr, "benchfig: measuring SubproblemSolve/warm ...")
+	inst := benchInstance(3, 30, 50)
+	sub, err := core.NewSubproblem(inst, 0, core.DefaultSubproblemConfig())
+	if err != nil {
+		return fmt.Errorf("bench SubproblemSolve: %w", err)
+	}
+	yMinus := inst.NewUFMat()
+	if _, err := sub.Solve(yMinus); err != nil { // warm the workspace
+		return fmt.Errorf("bench SubproblemSolve: %w", err)
+	}
+	var solveErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sub.Solve(yMinus); err != nil {
+				solveErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if solveErr != nil {
+		return fmt.Errorf("bench SubproblemSolve: %w", solveErr)
+	}
+	report.Results = append(report.Results, toResult("SubproblemSolve/warm", res))
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if _, err := dst.Write(out); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "benchfig: wrote %s\n", path)
+	}
+	return nil
+}
+
+func toResult(name string, res testing.BenchmarkResult) BenchResult {
+	return BenchResult{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}

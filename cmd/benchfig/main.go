@@ -10,6 +10,7 @@
 //	benchfig -all -csv out/         # also write out/fig<N>.csv
 //	benchfig -seeds 1,2,3,4,5       # average over more seeds
 //	benchfig -epsilon 0.5 -delta .3 # non-Fig.3 privacy parameters
+//	benchfig -bench-json BENCH.json # DUA hot-path microbenchmarks as JSON
 package main
 
 import (
@@ -47,9 +48,13 @@ func run(args []string) error {
 		delta     = fs.Float64("delta", 0.5, "LPPM Laplace component factor δ")
 		trials    = fs.Int("gap-trials", 5, "trials for the E7 optimality-gap experiment")
 		plotFigs  = fs.Bool("plot", false, "render figures 3-6 as ASCII charts too")
+		benchJSON = fs.String("bench-json", "", "run the DUA hot-path microbenchmarks and write JSON to this path (\"-\" for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchJSON != "" {
+		return runBenchJSON(*benchJSON)
 	}
 	if !*all && *fig == 0 && !*summary && !*extra && !*ablations {
 		fs.Usage()

@@ -58,7 +58,7 @@ func main() {
 		fmt.Printf("SBS %d caches contents %v and serves:\n", n, res.Solution.Caching.Contents(n))
 		for u := 0; u < inst.U; u++ {
 			for f := 0; f < inst.F; f++ {
-				if y := res.Solution.Routing.Route[n][u][f]; y > 1e-9 {
+				if y := res.Solution.Routing.At(n, u, f); y > 1e-9 {
 					fmt.Printf("  %5.1f%% of MU %d's demand for content %d\n", 100*y, u, f)
 				}
 			}

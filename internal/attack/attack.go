@@ -183,12 +183,13 @@ func ReconstructionError(inst *model.Instance, truth *model.RoutingPolicy, recov
 				continue
 			}
 			for f := 0; f < inst.F; f++ {
-				d := truth.Route[n][u][f] - recovered[n][u][f]
+				v := truth.At(n, u, f)
+				d := v - recovered[n][u][f]
 				if d < 0 {
 					d = -d
 				}
 				dist += d
-				mass += truth.Route[n][u][f]
+				mass += v
 			}
 		}
 	}
@@ -238,7 +239,7 @@ func (r *TruthRecorder) Truth(sweep int) (*model.RoutingPolicy, error) {
 			return nil, fmt.Errorf("attack: sweep %d missing SBS %d upload", sweep, n)
 		}
 	}
-	return &model.RoutingPolicy{Route: blocks}, nil
+	return model.RoutingPolicyFromBlocks(blocks)
 }
 
 // RunWithObserver runs Algorithm 1 with a broadcast observer (the

@@ -141,10 +141,10 @@ func TestFirstSweepReconstruction(t *testing.T) {
 				continue
 			}
 			for f := 0; f < inst.F; f++ {
-				diff := truthPolicy.Route[n][u][f] - recovered[n][u][f]
+				diff := truthPolicy.At(n, u, f) - recovered[n][u][f]
 				if diff > 1e-9 || diff < -1e-9 {
 					t.Fatalf("SBS %d (%d,%d): recovered %v, truth %v",
-						n, u, f, recovered[n][u][f], truthPolicy.Route[n][u][f])
+						n, u, f, recovered[n][u][f], truthPolicy.At(n, u, f))
 				}
 			}
 		}

@@ -35,7 +35,7 @@ func GreedyRouting(inst *model.Instance, caching *model.CachingPolicy) (*model.R
 			return nil, err
 		}
 		yMinus := routing.AggregateExcept(inst, n)
-		block, err := sub.BestRoutingForCache(caching.Cache[n], yMinus)
+		block, err := sub.BestRoutingForCache(caching.RowBools(n), yMinus)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +203,7 @@ func PlanLRFU(inst *model.Instance, cfg LRFUConfig) (*LRFUResult, error) {
 	caching := model.NewCachingPolicy(inst)
 	for n := 0; n < inst.N; n++ {
 		for _, f := range caches[n].Contents() {
-			caching.Cache[n][f] = true
+			caching.Set(n, f, true)
 		}
 	}
 	routing, err := GreedyRouting(inst, caching)
@@ -239,7 +239,7 @@ func TopPopular(inst *model.Instance) (*model.Solution, error) {
 			limit = len(ranked)
 		}
 		for _, f := range ranked[:limit] {
-			caching.Cache[n][f] = true
+			caching.Set(n, f, true)
 		}
 	}
 	routing, err := GreedyRouting(inst, caching)

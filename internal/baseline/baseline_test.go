@@ -142,18 +142,18 @@ func TestGreedyRoutingRespectsCoupling(t *testing.T) {
 		BSCost:    []float64{100},
 	}
 	caching := model.NewCachingPolicy(inst)
-	caching.Cache[0][0] = true
-	caching.Cache[1][0] = true
+	caching.Set(0, 0, true)
+	caching.Set(1, 0, true)
 	routing, err := GreedyRouting(inst, caching)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// SBS0 limited to 6/10 by bandwidth, SBS1 takes the remaining 0.4.
-	if math.Abs(routing.Route[0][0][0]-0.6) > 1e-9 {
-		t.Errorf("SBS0 share = %v, want 0.6", routing.Route[0][0][0])
+	if math.Abs(routing.At(0, 0, 0)-0.6) > 1e-9 {
+		t.Errorf("SBS0 share = %v, want 0.6", routing.At(0, 0, 0))
 	}
-	if math.Abs(routing.Route[1][0][0]-0.4) > 1e-9 {
-		t.Errorf("SBS1 share = %v, want 0.4", routing.Route[1][0][0])
+	if math.Abs(routing.At(1, 0, 0)-0.4) > 1e-9 {
+		t.Errorf("SBS1 share = %v, want 0.4", routing.At(1, 0, 0))
 	}
 }
 
@@ -207,8 +207,8 @@ func TestCentralizedMILPSmall(t *testing.T) {
 	}
 	requireFeasible(t, inst, sol)
 	// Cache content 0 (demand 10 ≫ 2): cost = 10·1 + 2·100 = 210.
-	if !sol.Caching.Cache[0][0] || sol.Caching.Cache[0][1] {
-		t.Errorf("cache = %v, want content 0 only", sol.Caching.Cache[0])
+	if !sol.Caching.Get(0, 0) || sol.Caching.Get(0, 1) {
+		t.Errorf("cache = %v, want content 0 only", sol.Caching.RowBools(0))
 	}
 	if math.Abs(sol.Cost.Total-210) > 1e-6 {
 		t.Errorf("cost = %v, want 210", sol.Cost.Total)

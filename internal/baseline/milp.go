@@ -132,12 +132,12 @@ func CentralizedMILP(inst *model.Instance, opts MILPOptions) (*model.Solution, e
 	caching := model.NewCachingPolicy(inst)
 	for n := 0; n < inst.N; n++ {
 		for f := 0; f < inst.F; f++ {
-			caching.Cache[n][f] = sol.X[xAt(n, f)] > 0.5
+			caching.Set(n, f, sol.X[xAt(n, f)] > 0.5)
 		}
 	}
 	routing := model.NewRoutingPolicy(inst)
 	for i, v := range yVars {
-		routing.Route[v.n][v.u][v.f] = sol.X[numX+i]
+		routing.Set(v.n, v.u, v.f, sol.X[numX+i])
 	}
 	return &model.Solution{
 		Caching: caching,

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgecache/internal/model"
+)
+
+// benchScale builds a random instance at the given scale with the paper's
+// structure (d̂ ≫ d, ~60% link density, skewed demand).
+func benchScale(n, u, f int) *model.Instance {
+	rng := rand.New(rand.NewSource(99))
+	return randomInstance(rng, n, u, f)
+}
+
+// BenchmarkSweep measures full Algorithm 1 runs with a fixed sweep budget:
+// the Gauss-Seidel DUA sweep is the system's hot path. The "paper" scale is
+// the §V-A default (N=3, U=30, F=50); "scaled" is the scaling-study regime
+// (N=20, U=200, F=500) from the edge-caching literature's larger sweeps.
+func BenchmarkSweep(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		n, u, f int
+		sweeps  int
+	}{
+		{"paper_N3_U30_F50", 3, 30, 50, 4},
+		{"scaled_N20_U200_F500", 20, 200, 500, 2},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			inst := benchScale(tc.n, tc.u, tc.f)
+			cfg := DefaultConfig()
+			cfg.MaxSweeps = tc.sweeps
+			cfg.Gamma = 1e-300 // exhaust the sweep budget: fixed work per iteration
+			coord, err := NewCoordinator(inst, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubproblemSolveCore measures one warm P_n solve — the inner loop
+// of every sweep — at paper scale.
+func BenchmarkSubproblemSolveCore(b *testing.B) {
+	inst := benchScale(3, 30, 50)
+	sub, err := NewSubproblem(inst, 0, DefaultSubproblemConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	yMinus := inst.NewUFMat()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sub.Solve(yMinus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -120,13 +120,16 @@ type Config struct {
 
 	// BroadcastTap, when non-nil, observes every aggregate y_{-n} the BS
 	// broadcasts (sweep, phase n, matrix), modeling the paper's §IV
-	// attacker who listens on the broadcast channel. The tap must not
-	// mutate the matrix. Used by internal/attack and experiment E15.
+	// attacker who listens on the broadcast channel. The matrices are
+	// materialized per call (the tap owns them), so enabling a tap trades
+	// the sweep loop's zero-allocation property for observability.
+	// Used by internal/attack and experiment E15.
 	BroadcastTap func(sweep, phase int, yMinus [][]float64)
 	// UploadTap, when non-nil, observes each SBS's routing before (clean)
 	// and after (upload) LPPM. It is experiment instrumentation — ground
 	// truth for measuring what an attacker could recover — and must never
-	// be wired up in a deployment. The tap must not mutate the matrices.
+	// be wired up in a deployment. The matrices are materialized per call;
+	// the tap owns them.
 	UploadTap func(sweep, phase int, clean, upload [][]float64)
 
 	// Restarts is an extension beyond the paper: because the no-overserve
@@ -252,6 +255,13 @@ func (c *Coordinator) runOnce(order []int) (*RunResult, error) {
 	x := model.NewCachingPolicy(inst)
 	y := model.NewRoutingPolicy(inst) // BS view: uploaded (noised) policies
 
+	// The BS maintains the masked aggregate Σ_n y·l incrementally: each
+	// phase derives y_{-n} in O(U·F) (subtract SBS n's block) and advances
+	// the aggregate from the fresh upload, replacing the O(N·U·F)
+	// AggregateExcept rebuild the seed implementation performed per phase.
+	tracker := model.NewAggregateTracker(inst)
+	yMinus := inst.NewUFMat()
+
 	res := &RunResult{}
 	var best *model.Solution
 	prevCost := math.Inf(1)
@@ -259,9 +269,9 @@ func (c *Coordinator) runOnce(order []int) (*RunResult, error) {
 		for _, n := range order {
 			// The BS broadcasts the aggregate routing; SBS n subtracts its
 			// own last upload to obtain y_{-n} (eq. 25).
-			yMinus := y.AggregateExcept(inst, n)
+			tracker.YMinusInto(inst, y, n, yMinus)
 			if c.cfg.BroadcastTap != nil {
-				c.cfg.BroadcastTap(sweep, n, yMinus)
+				c.cfg.BroadcastTap(sweep, n, yMinus.Rows())
 			}
 			sub, err := c.subs[n].Solve(yMinus)
 			if err != nil {
@@ -275,12 +285,12 @@ func (c *Coordinator) runOnce(order []int) (*RunResult, error) {
 				}
 			}
 			if c.cfg.UploadTap != nil {
-				c.cfg.UploadTap(sweep, n, sub.Routing, upload)
+				c.cfg.UploadTap(sweep, n, sub.Routing.Rows(), upload.Rows())
 			}
-			copy(x.Cache[n], sub.Cache)
-			y.SetSBS(n, upload)
+			x.SetRow(n, sub.Cache)
+			tracker.Install(inst, y, n, yMinus, upload)
 		}
-		cost := model.TotalServingCost(inst, y)
+		cost := model.TotalServingCostFromAggregate(inst, y, tracker.Aggregate())
 		res.History = append(res.History, cost.Total)
 		res.Sweeps = sweep + 1
 		if best == nil || cost.Total < best.Cost.Total {

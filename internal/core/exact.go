@@ -10,16 +10,20 @@ import (
 // set of size ≤ C_n and solving the routing knapsack for each. It is
 // exponential in F and exists to certify the dual solver's quality in
 // tests; callers must keep F small (the solver refuses F > 20).
-func (s *Subproblem) SolveExact(yMinus [][]float64) (*Result, error) {
+//
+// Unlike Solve, the returned Result is freshly allocated and owned by the
+// caller (exhaustive search is never on the hot path).
+func (s *Subproblem) SolveExact(yMinus model.Mat) (*Result, error) {
 	if s.inst.F > 20 {
 		return nil, fmt.Errorf("core: SolveExact limited to F ≤ 20, got %d", s.inst.F)
 	}
-	if len(yMinus) != s.inst.U {
-		return nil, fmt.Errorf("core: yMinus has %d rows, want U=%d", len(yMinus), s.inst.U)
+	if yMinus.U != s.inst.U || yMinus.F != s.inst.F {
+		return nil, fmt.Errorf("core: yMinus is %dx%d, want U=%d F=%d",
+			yMinus.U, yMinus.F, s.inst.U, s.inst.F)
 	}
 	caps := make([]float64, len(s.items))
 	for i, it := range s.items {
-		caps[i] = clamp01(1 - yMinus[it.u][it.f])
+		caps[i] = clamp01(1 - yMinus.At(it.u, it.f))
 	}
 
 	capN := s.inst.CacheCap[s.n]
@@ -41,9 +45,9 @@ func (s *Subproblem) SolveExact(yMinus [][]float64) (*Result, error) {
 			bestY = y
 		}
 	}
-	res := &Result{Cache: bestX, Routing: s.inst.NewZeroMatrix(), Gain: bestGain}
+	res := &Result{Cache: bestX, Routing: model.NewMat(s.inst.U, s.inst.F), Gain: bestGain}
 	for i, it := range s.items {
-		res.Routing[it.u][it.f] = bestY[i]
+		res.Routing.Set(it.u, it.f, bestY[i])
 	}
 	return res, nil
 }
@@ -61,15 +65,17 @@ func popcount(v int) int {
 // SBS n against the instance: the gain Σ (d̂_u − d_nu)·λ_uf·y_nuf over
 // linked pairs. Used by tests and the experiment harness to compare
 // sub-problem solutions without rebuilding full policies.
-func EvaluateUpload(inst *model.Instance, n int, routing [][]float64) float64 {
+func EvaluateUpload(inst *model.Instance, n int, routing model.Mat) float64 {
 	var gain float64
 	for u := 0; u < inst.U; u++ {
 		if !inst.Links[n][u] {
 			continue
 		}
 		density := inst.BSCost[u] - inst.EdgeCost[n][u]
-		for f := 0; f < inst.F; f++ {
-			gain += density * inst.Demand[u][f] * routing[u][f]
+		row := routing.Row(u)
+		demand := inst.Demand[u]
+		for f := range row {
+			gain += density * demand[f] * row[f]
 		}
 	}
 	return gain

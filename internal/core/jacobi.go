@@ -28,6 +28,11 @@ func (c *Coordinator) RunJacobi() (*RunResult, error) {
 	x := model.NewCachingPolicy(inst)
 	y := model.NewRoutingPolicy(inst)
 
+	// Every per-SBS y_{-n} of a round is computed into one reusable scratch
+	// matrix; Jacobi is an ablation, so it keeps the reference
+	// AggregateExcept summation rather than the incremental tracker.
+	yMinus := inst.NewUFMat()
+
 	res := &RunResult{}
 	var best *model.Solution
 	prevCost := math.Inf(1)
@@ -35,7 +40,7 @@ func (c *Coordinator) RunJacobi() (*RunResult, error) {
 		// All SBSs observe the same pre-round policy (stale state).
 		next := model.NewRoutingPolicy(inst)
 		for n := 0; n < inst.N; n++ {
-			yMinus := y.AggregateExcept(inst, n)
+			y.AggregateExceptInto(inst, n, yMinus)
 			sub, err := c.subs[n].Solve(yMinus)
 			if err != nil {
 				return nil, err
@@ -47,7 +52,7 @@ func (c *Coordinator) RunJacobi() (*RunResult, error) {
 					return nil, err
 				}
 			}
-			copy(x.Cache[n], sub.Cache)
+			x.SetRow(n, sub.Cache)
 			next.SetSBS(n, upload)
 		}
 		repairOverserve(inst, next)
@@ -80,14 +85,15 @@ func (c *Coordinator) RunJacobi() (*RunResult, error) {
 func repairOverserve(inst *model.Instance, y *model.RoutingPolicy) {
 	agg := y.Aggregate(inst)
 	for u := 0; u < inst.U; u++ {
-		for f := 0; f < inst.F; f++ {
-			if agg[u][f] <= 1+1e-12 {
+		row := agg.Row(u)
+		for f := range row {
+			if row[f] <= 1+1e-12 {
 				continue
 			}
-			factor := 1 / agg[u][f]
+			factor := 1 / row[f]
 			for n := 0; n < inst.N; n++ {
 				if inst.Links[n][u] {
-					y.Route[n][u][f] *= factor
+					y.Set(n, u, f, y.At(n, u, f)*factor)
 				}
 			}
 		}

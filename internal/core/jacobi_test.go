@@ -92,22 +92,22 @@ func TestRepairOverserve(t *testing.T) {
 		BSCost:    []float64{100},
 	}
 	y := model.NewRoutingPolicy(inst)
-	y.Route[0][0][0] = 0.8
-	y.Route[1][0][0] = 0.6 // aggregate 1.4
+	y.Set(0, 0, 0, 0.8)
+	y.Set(1, 0, 0, 0.6) // aggregate 1.4
 	repairOverserve(inst, y)
 	agg := y.Aggregate(inst)
-	if agg[0][0] > 1+1e-9 {
-		t.Fatalf("aggregate after repair = %v", agg[0][0])
+	if agg.At(0, 0) > 1+1e-9 {
+		t.Fatalf("aggregate after repair = %v", agg.At(0, 0))
 	}
 	// Proportional: 0.8/1.4 and 0.6/1.4.
-	if diff := y.Route[0][0][0] - 0.8/1.4; diff > 1e-12 || diff < -1e-12 {
-		t.Errorf("SBS0 share = %v, want %v", y.Route[0][0][0], 0.8/1.4)
+	if diff := y.At(0, 0, 0) - 0.8/1.4; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("SBS0 share = %v, want %v", y.At(0, 0, 0), 0.8/1.4)
 	}
 	// Already-feasible entries must be untouched.
 	y2 := model.NewRoutingPolicy(inst)
-	y2.Route[0][0][0] = 0.3
+	y2.Set(0, 0, 0, 0.3)
 	repairOverserve(inst, y2)
-	if y2.Route[0][0][0] != 0.3 {
+	if y2.At(0, 0, 0) != 0.3 {
 		t.Error("repair modified a feasible entry")
 	}
 }
@@ -186,14 +186,18 @@ func TestPerturbKeepsZeroesAndRange(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		routing := [][]float64{{0, 0.5, 1}, {0.25, 0, 0.75}}
+		routing, err := model.MatFromRows([][]float64{{0, 0.5, 1}, {0.25, 0, 0.75}})
+		if err != nil {
+			t.Fatal(err)
+		}
 		noised, err := l.Perturb("x", routing)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for u := range routing {
-			for f, v := range routing[u] {
-				got := noised[u][f]
+		for u := 0; u < routing.U; u++ {
+			for f := 0; f < routing.F; f++ {
+				v := routing.At(u, f)
+				got := noised.At(u, f)
 				if v == 0 && got != 0 {
 					t.Fatalf("%v: zero entry perturbed to %v", mech, got)
 				}

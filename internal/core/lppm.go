@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"edgecache/internal/dp"
+	"edgecache/internal/model"
 )
 
 // LPPM is the paper's Laplace Privacy-Preserving Mechanism (Definition 2)
@@ -68,24 +69,25 @@ func (l *LPPM) Mechanism() NoiseMechanism { return l.cfg.Mechanism }
 // spend under the given label (typically the SBS identifier) when an
 // accountant is configured. Zero entries stay exactly zero: a demand that
 // was never served leaks nothing and must not be jittered into service.
-func (l *LPPM) Perturb(label string, routing [][]float64) ([][]float64, error) {
-	noised := make([][]float64, len(routing))
-	for u := range routing {
-		noised[u] = make([]float64, len(routing[u]))
-		for f, v := range routing[u] {
-			if v <= 0 {
-				continue
-			}
-			r, err := l.noise(v)
-			if err != nil {
-				return nil, err
-			}
-			noised[u][f] = v - r
+//
+// Perturb allocates the returned matrix: the zero-allocation guarantee of
+// the sweep loop applies to the non-private path, and a fresh copy keeps
+// the clean block intact for the UploadTap ground truth.
+func (l *LPPM) Perturb(label string, routing model.Mat) (model.Mat, error) {
+	noised := model.NewMat(routing.U, routing.F)
+	for i, v := range routing.Data {
+		if v <= 0 {
+			continue
 		}
+		r, err := l.noise(v)
+		if err != nil {
+			return model.Mat{}, err
+		}
+		noised.Data[i] = v - r
 	}
 	if l.cfg.Accountant != nil {
 		if err := l.cfg.Accountant.Record(label, l.cfg.Epsilon); err != nil {
-			return nil, err
+			return model.Mat{}, err
 		}
 	}
 	return noised, nil
@@ -107,6 +109,6 @@ func (l *LPPM) noise(y float64) (float64, error) {
 
 // PerturbSBS is a convenience for callers that label spends by SBS index
 // rather than by name.
-func (l *LPPM) PerturbSBS(n int, routing [][]float64) ([][]float64, error) {
+func (l *LPPM) PerturbSBS(n int, routing model.Mat) (model.Mat, error) {
 	return l.Perturb(fmt.Sprintf("sbs-%d", n), routing)
 }

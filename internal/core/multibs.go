@@ -120,7 +120,7 @@ func RunMultiBS(inst *model.Instance, cfg MultiBSConfig) (*RunResult, error) {
 	for round := 0; round < cfg.MaxRounds; round++ {
 		// Foreign aggregates are frozen at the start of the round: each
 		// region only knows what the other BSs published last round.
-		foreign := make([][][]float64, len(cfg.Regions))
+		foreign := make([]model.Mat, len(cfg.Regions))
 		for r := range cfg.Regions {
 			foreign[r] = foreignAggregate(inst, y, regionOf, r)
 		}
@@ -131,10 +131,8 @@ func RunMultiBS(inst *model.Instance, cfg MultiBSConfig) (*RunResult, error) {
 			// foreign + intra-region aggregates.
 			for _, n := range region {
 				yMinus := intraAggregateExcept(inst, next, region, n)
-				for u := 0; u < inst.U; u++ {
-					for f := 0; f < inst.F; f++ {
-						yMinus[u][f] += foreign[r][u][f]
-					}
+				for i, v := range foreign[r].Data {
+					yMinus.Data[i] += v
 				}
 				sub, err := subs[n].Solve(yMinus)
 				if err != nil {
@@ -147,7 +145,7 @@ func RunMultiBS(inst *model.Instance, cfg MultiBSConfig) (*RunResult, error) {
 						return nil, err
 					}
 				}
-				copy(x.Cache[n], sub.Cache)
+				x.SetRow(n, sub.Cache)
 				next.SetSBS(n, upload)
 			}
 		}
@@ -178,18 +176,21 @@ func RunMultiBS(inst *model.Instance, cfg MultiBSConfig) (*RunResult, error) {
 }
 
 // foreignAggregate sums the uploaded routing of every SBS outside region r.
-func foreignAggregate(inst *model.Instance, y *model.RoutingPolicy, regionOf []int, r int) [][]float64 {
-	agg := inst.NewZeroMatrix()
+func foreignAggregate(inst *model.Instance, y *model.RoutingPolicy, regionOf []int, r int) model.Mat {
+	agg := inst.NewUFMat()
 	for n := 0; n < inst.N; n++ {
 		if regionOf[n] == r {
 			continue
 		}
+		block := y.SBS(n)
 		for u := 0; u < inst.U; u++ {
 			if !inst.Links[n][u] {
 				continue
 			}
-			for f := 0; f < inst.F; f++ {
-				agg[u][f] += y.Route[n][u][f]
+			dstRow := agg.Row(u)
+			srcRow := block.Row(u)
+			for f := range dstRow {
+				dstRow[f] += srcRow[f]
 			}
 		}
 	}
@@ -197,18 +198,21 @@ func foreignAggregate(inst *model.Instance, y *model.RoutingPolicy, regionOf []i
 }
 
 // intraAggregateExcept sums the region's own current routing except SBS n.
-func intraAggregateExcept(inst *model.Instance, y *model.RoutingPolicy, region []int, except int) [][]float64 {
-	agg := inst.NewZeroMatrix()
+func intraAggregateExcept(inst *model.Instance, y *model.RoutingPolicy, region []int, except int) model.Mat {
+	agg := inst.NewUFMat()
 	for _, n := range region {
 		if n == except {
 			continue
 		}
+		block := y.SBS(n)
 		for u := 0; u < inst.U; u++ {
 			if !inst.Links[n][u] {
 				continue
 			}
-			for f := 0; f < inst.F; f++ {
-				agg[u][f] += y.Route[n][u][f]
+			dstRow := agg.Row(u)
+			srcRow := block.Row(u)
+			for f := range dstRow {
+				dstRow[f] += srcRow[f]
 			}
 		}
 	}

@@ -16,6 +16,11 @@
 //     optionally applying LPPM to every routing upload.
 //   - exact.go provides an exhaustive P_n solver for small instances,
 //     used by tests to certify the dual method's solution quality.
+//
+// Everything runs on the flat tensor substrate of internal/model: routing
+// blocks are model.Mat (contiguous U×F), and each Subproblem owns a
+// preallocated workspace so that repeated Solve calls — the access pattern
+// of the Gauss-Seidel sweep — perform zero heap allocations.
 package core
 
 import (
@@ -63,15 +68,26 @@ func (c SubproblemConfig) withDefaults() SubproblemConfig {
 // Subproblem solves P_n for one SBS. It precomputes the SBS's item list
 // (linked (u,f) pairs with positive demand) once and can then be solved
 // repeatedly against different aggregate routings y_{-n}, which is exactly
-// the access pattern of the Gauss-Seidel sweep.
+// the access pattern of the Gauss-Seidel sweep. All scratch state lives in
+// a preallocated workspace, so warm Solve calls allocate nothing.
+//
+// A Subproblem is NOT safe for concurrent use: Solve, SolveExact and
+// RoutingGivenCache share the workspace. Give each goroutine its own
+// Subproblem (the coordinator and the sim agents already do).
 type Subproblem struct {
 	inst *model.Instance
 	n    int
 	cfg  SubproblemConfig
 	// items enumerates the SBS's servable (u,f) pairs.
 	items []item
+	// densityOrder lists item indices sorted by density descending (ties
+	// by index). The density ranking is static, so the routing knapsack
+	// for a fixed cache never needs a per-call sort.
+	densityOrder []int
 	// stepScale is the resolved sub-gradient step scale.
 	stepScale float64
+	// ws is the reusable solve workspace.
+	ws solveWorkspace
 }
 
 // item is one servable (u,f) pair from SBS n's perspective.
@@ -84,6 +100,29 @@ type item struct {
 	gain float64
 	// density is gain per unit of bandwidth, (d̂_u − d_nu).
 	density float64
+}
+
+// solveWorkspace holds every buffer a Solve call touches. Sized once in
+// NewSubproblem; nothing here escapes to the caller except result, whose
+// ownership contract is documented on Solve.
+type solveWorkspace struct {
+	caps     []float64 // per-item residual capacity for this solve
+	mu       []float64 // dual multipliers
+	yDual    []float64 // routing iterate of the dual loop
+	score    []float64 // per-content multiplier mass (len F)
+	scoreIdx []int     // cachingStep sort buffer (cap F)
+	order    []int     // routingStep eligible-item buffer (cap #items)
+	ratio    []float64 // routingStep per-item cost ratio w/λ
+	xStep    []bool    // cachingStep output (len F)
+	greedyX  []bool    // greedyCache output (len F)
+	workX    []bool    // localSearch mutation buffer (len F)
+	yA, yB   []float64 // double-buffered routing evaluations
+	scratchY []float64 // gain-only routing evaluations
+	pool     candidatePool
+	result   Result
+
+	scoreSorter scoreSorter
+	ratioSorter ratioSorter
 }
 
 // NewSubproblem builds the solver for SBS n.
@@ -128,6 +167,37 @@ func NewSubproblem(inst *model.Instance, n int, cfg SubproblemConfig) (*Subprobl
 			s.stepScale = 1
 		}
 	}
+
+	s.densityOrder = make([]int, len(s.items))
+	for i := range s.densityOrder {
+		s.densityOrder[i] = i
+	}
+	sort.Slice(s.densityOrder, func(a, b int) bool {
+		ia, ib := s.densityOrder[a], s.densityOrder[b]
+		if s.items[ia].density != s.items[ib].density {
+			return s.items[ia].density > s.items[ib].density
+		}
+		return ia < ib
+	})
+
+	ni := len(s.items)
+	s.ws = solveWorkspace{
+		caps:     make([]float64, ni),
+		mu:       make([]float64, ni),
+		yDual:    make([]float64, ni),
+		score:    make([]float64, inst.F),
+		scoreIdx: make([]int, 0, inst.F),
+		order:    make([]int, 0, ni),
+		ratio:    make([]float64, ni),
+		xStep:    make([]bool, inst.F),
+		greedyX:  make([]bool, inst.F),
+		workX:    make([]bool, inst.F),
+		yA:       make([]float64, ni),
+		yB:       make([]float64, ni),
+		scratchY: make([]float64, ni),
+		result:   Result{Cache: make([]bool, inst.F), Routing: model.NewMat(inst.U, inst.F)},
+	}
+	s.ws.pool = newCandidatePool(cfg.MaxCandidates, inst.F)
 	return s, nil
 }
 
@@ -135,7 +205,7 @@ func NewSubproblem(inst *model.Instance, n int, cfg SubproblemConfig) (*Subprobl
 type Result struct {
 	// Cache is x_n (length F) and Routing y_n (U×F).
 	Cache   []bool
-	Routing [][]float64
+	Routing model.Mat
 	// Gain is the serving-cost reduction Σ (d̂−d)·λ·y achieved versus
 	// routing nothing; the coordinator uses it for reporting only.
 	Gain float64
@@ -147,28 +217,33 @@ type Result struct {
 // (U×F, the portion of each demand already served by the other SBSs). The
 // returned policy satisfies the cache capacity, bandwidth, box and
 // no-overserve constraints, and routing only touches cached contents.
-func (s *Subproblem) Solve(yMinus [][]float64) (*Result, error) {
-	if len(yMinus) != s.inst.U {
-		return nil, fmt.Errorf("core: yMinus has %d rows, want U=%d", len(yMinus), s.inst.U)
-	}
-	for u, row := range yMinus {
-		if len(row) != s.inst.F {
-			return nil, fmt.Errorf("core: yMinus[%d] has %d entries, want F=%d", u, len(row), s.inst.F)
-		}
+//
+// Workspace-reuse contract: the returned Result (Cache and Routing
+// included) is owned by the Subproblem and is overwritten by the next
+// Solve/SolveExact call. Callers must copy anything they retain —
+// RoutingPolicy.SetSBS and CachingPolicy.SetRow both copy.
+func (s *Subproblem) Solve(yMinus model.Mat) (*Result, error) {
+	if yMinus.U != s.inst.U || yMinus.F != s.inst.F {
+		return nil, fmt.Errorf("core: yMinus is %dx%d, want U=%d F=%d",
+			yMinus.U, yMinus.F, s.inst.U, s.inst.F)
 	}
 
+	ws := &s.ws
 	// Residual capacity per item: y_nuf ≤ clamp(1 − y_{-n,uf}, 0, 1),
 	// which enforces the coupling constraint (4) inside the block update.
-	caps := make([]float64, len(s.items))
+	caps := ws.caps
 	for i, it := range s.items {
-		caps[i] = clamp01(1 - yMinus[it.u][it.f])
+		caps[i] = clamp01(1 - yMinus.At(it.u, it.f))
 	}
 
 	// Dual loop (eq. 21-23).
-	mu := make([]float64, len(s.items)) // μ_uf ≥ 0, one per servable pair
-	y := make([]float64, len(s.items))
-	scoreBuf := make([]float64, s.inst.F)
-	candidates := newCandidateSet(s.cfg.MaxCandidates)
+	mu := ws.mu // μ_uf ≥ 0, one per servable pair
+	for i := range mu {
+		mu[i] = 0
+	}
+	y := ws.yDual
+	scoreBuf := ws.score
+	ws.pool.reset()
 	iters := 0
 	for k := 0; k < s.cfg.DualIters; k++ {
 		iters++
@@ -181,7 +256,7 @@ func (s *Subproblem) Solve(yMinus [][]float64) (*Result, error) {
 			scoreBuf[it.f] += mu[i]
 		}
 		x := s.cachingStep(scoreBuf)
-		candidates.add(x)
+		ws.pool.add(x)
 
 		// Routing sub-problem (eq. 20): fractional knapsack with
 		// coefficients w = (d−d̂)·λ + μ over the bandwidth budget.
@@ -209,32 +284,34 @@ func (s *Subproblem) Solve(yMinus [][]float64) (*Result, error) {
 
 	// Primal recovery: for every distinct cache vector seen, compute the
 	// exact optimal routing given that cache and keep the best.
-	best := s.recoverPrimal(candidates, caps)
+	best := s.recoverPrimal(caps)
 	best.DualIters = iters
 	return best, nil
 }
 
 // cachingStep solves eq. 18: pick the C_n contents with the largest
 // positive multiplier mass. Ties at zero are left uncached (they earn
-// nothing in the dual); primal recovery fills free capacity greedily.
+// nothing in the dual); primal recovery fills free capacity greedily. The
+// returned vector is the workspace's xStep buffer.
 func (s *Subproblem) cachingStep(score []float64) []bool {
+	ws := &s.ws
+	x := ws.xStep
+	for f := range x {
+		x[f] = false
+	}
 	capN := s.inst.CacheCap[s.n]
-	x := make([]bool, s.inst.F)
 	if capN == 0 {
 		return x
 	}
-	idx := make([]int, 0, len(score))
+	idx := ws.scoreIdx[:0]
 	for f, sc := range score {
 		if sc > 0 {
 			idx = append(idx, f)
 		}
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		if score[idx[a]] != score[idx[b]] {
-			return score[idx[a]] > score[idx[b]]
-		}
-		return idx[a] < idx[b]
-	})
+	ws.scoreSorter.idx = idx
+	ws.scoreSorter.score = score
+	sort.Sort(&ws.scoreSorter)
 	if len(idx) > capN {
 		idx = idx[:capN]
 	}
@@ -249,22 +326,19 @@ func (s *Subproblem) cachingStep(score []float64) []bool {
 // Only negative-coefficient items are worth serving; the optimal solution
 // of this LP fills them in increasing w/λ order (fractional knapsack).
 func (s *Subproblem) routingStep(y, mu, caps []float64) {
-	order := make([]int, 0, len(s.items))
+	ws := &s.ws
+	order := ws.order[:0]
 	for i := range s.items {
 		y[i] = 0
-		if -s.items[i].gain+mu[i] < 0 && caps[i] > 0 {
+		w := -s.items[i].gain + mu[i]
+		if w < 0 && caps[i] > 0 {
+			ws.ratio[i] = w / s.items[i].lambda
 			order = append(order, i)
 		}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := order[a], order[b]
-		ra := (-s.items[ia].gain + mu[ia]) / s.items[ia].lambda
-		rb := (-s.items[ib].gain + mu[ib]) / s.items[ib].lambda
-		if ra != rb {
-			return ra < rb
-		}
-		return ia < ib
-	})
+	ws.ratioSorter.order = order
+	ws.ratioSorter.ratio = ws.ratio
+	sort.Sort(&ws.ratioSorter)
 	budget := s.inst.Bandwidth[s.n]
 	for _, i := range order {
 		if budget <= 0 {
@@ -277,38 +351,41 @@ func (s *Subproblem) routingStep(y, mu, caps []float64) {
 	}
 }
 
-// RoutingGivenCache computes the exact optimal routing for a fixed cache
-// vector x: a fractional knapsack over the cached, linked pairs with
-// per-item capacity caps. It returns the flat item routing and the total
-// gain. This is both the primal-recovery engine and, composed with a cache
-// search, an independent P_n solver.
-func (s *Subproblem) RoutingGivenCache(x []bool, caps []float64) ([]float64, float64) {
-	y := make([]float64, len(s.items))
-	order := make([]int, 0, len(s.items))
-	for i, it := range s.items {
-		if x[it.f] && caps[i] > 0 && it.gain > 0 {
-			order = append(order, i)
-		}
+// routingGivenCacheInto computes the exact optimal routing for a fixed
+// cache vector x into the caller-supplied per-item buffer y and returns
+// the gain. The eligible items are walked in the precomputed density order
+// (the knapsack's fill order is static), so a call is one linear scan with
+// no sort and no allocation.
+func (s *Subproblem) routingGivenCacheInto(x []bool, caps, y []float64) float64 {
+	for i := range y {
+		y[i] = 0
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := order[a], order[b]
-		if s.items[ia].density != s.items[ib].density {
-			return s.items[ia].density > s.items[ib].density
-		}
-		return ia < ib
-	})
 	budget := s.inst.Bandwidth[s.n]
 	var gain float64
-	for _, i := range order {
+	for _, i := range s.densityOrder {
 		if budget <= 1e-12 {
 			break
 		}
 		it := s.items[i]
+		if !x[it.f] || caps[i] <= 0 || it.gain <= 0 {
+			continue
+		}
 		amount := math.Min(caps[i], budget/it.lambda)
 		y[i] = amount
 		budget -= amount * it.lambda
 		gain += amount * it.gain
 	}
+	return gain
+}
+
+// RoutingGivenCache computes the exact optimal routing for a fixed cache
+// vector x: a fractional knapsack over the cached, linked pairs with
+// per-item capacity caps. It returns a fresh flat item routing and the
+// total gain. This is both the primal-recovery engine and, composed with a
+// cache search, an independent P_n solver.
+func (s *Subproblem) RoutingGivenCache(x []bool, caps []float64) ([]float64, float64) {
+	y := make([]float64, len(s.items))
+	gain := s.routingGivenCacheInto(x, caps, y)
 	return y, gain
 }
 
@@ -317,53 +394,59 @@ func (s *Subproblem) RoutingGivenCache(x []bool, caps []float64) ([]float64, flo
 // use it to route on externally chosen caches (e.g. LRFU's) with exactly
 // the same knapsack the distributed algorithm uses, so cost comparisons
 // isolate the caching decision.
-func (s *Subproblem) BestRoutingForCache(x []bool, yMinus [][]float64) ([][]float64, error) {
+func (s *Subproblem) BestRoutingForCache(x []bool, yMinus model.Mat) (model.Mat, error) {
 	if len(x) != s.inst.F {
-		return nil, fmt.Errorf("core: cache vector has %d entries, want F=%d", len(x), s.inst.F)
+		return model.Mat{}, fmt.Errorf("core: cache vector has %d entries, want F=%d", len(x), s.inst.F)
 	}
-	if len(yMinus) != s.inst.U {
-		return nil, fmt.Errorf("core: yMinus has %d rows, want U=%d", len(yMinus), s.inst.U)
+	if yMinus.U != s.inst.U || yMinus.F != s.inst.F {
+		return model.Mat{}, fmt.Errorf("core: yMinus is %dx%d, want U=%d F=%d",
+			yMinus.U, yMinus.F, s.inst.U, s.inst.F)
 	}
 	caps := make([]float64, len(s.items))
 	for i, it := range s.items {
-		caps[i] = clamp01(1 - yMinus[it.u][it.f])
+		caps[i] = clamp01(1 - yMinus.At(it.u, it.f))
 	}
 	y, _ := s.RoutingGivenCache(x, caps)
-	block := s.inst.NewZeroMatrix()
+	block := model.NewMat(s.inst.U, s.inst.F)
 	for i, it := range s.items {
-		block[it.u][it.f] = y[i]
+		block.Set(it.u, it.f, y[i])
 	}
 	return block, nil
 }
 
 // recoverPrimal evaluates every candidate cache vector (plus a greedy
 // marginal-gain candidate) with exact routing and returns the best
-// feasible pair as a Result in matrix form.
-func (s *Subproblem) recoverPrimal(candidates *candidateSet, caps []float64) *Result {
+// feasible pair as a Result in matrix form. The Result is workspace-owned.
+func (s *Subproblem) recoverPrimal(caps []float64) *Result {
+	ws := &s.ws
 	// The greedy candidate is evaluated unconditionally: it must not be
 	// crowded out when the dual loop already produced MaxCandidates
 	// distinct vectors.
-	vectors := append([][]bool{s.greedyCache(caps)}, candidates.list...)
+	best, cand := ws.yA, ws.yB
 
 	var bestGain float64 = -1
 	var bestX []bool
-	var bestY []float64
-	for _, x := range vectors {
-		y, gain := s.RoutingGivenCache(x, caps)
+	if gain := s.routingGivenCacheInto(s.greedyCache(caps), caps, best); gain > bestGain {
+		bestGain, bestX = gain, ws.greedyX
+	}
+	for ci := 0; ci < ws.pool.n; ci++ {
+		x := ws.pool.list[ci]
+		gain := s.routingGivenCacheInto(x, caps, cand)
 		if gain > bestGain {
-			bestGain, bestX, bestY = gain, x, y
+			bestGain, bestX = gain, x
+			best, cand = cand, best
 		}
 	}
-	bestX, bestY, bestGain = s.localSearch(bestX, bestY, bestGain, caps)
+	bestX, best, bestGain = s.localSearch(bestX, best, cand, bestGain, caps)
 
-	res := &Result{
-		Cache:   bestX,
-		Routing: s.inst.NewZeroMatrix(),
-		Gain:    bestGain,
-	}
+	res := &ws.result
+	copy(res.Cache, bestX)
+	res.Routing.Zero()
 	for i, it := range s.items {
-		res.Routing[it.u][it.f] = bestY[i]
+		res.Routing.Set(it.u, it.f, best[i])
 	}
+	res.Gain = bestGain
+	res.DualIters = 0
 	return res
 }
 
@@ -371,13 +454,15 @@ func (s *Subproblem) recoverPrimal(candidates *candidateSet, caps []float64) *Re
 // cached content with one uncached content) until no swap improves the
 // exact routing gain. The greedy candidate is near-optimal but not optimal
 // (submodular greedy); swaps close the residual gap on the instances this
-// repository targets.
-func (s *Subproblem) localSearch(x []bool, y []float64, gain float64, caps []float64) ([]bool, []float64, float64) {
+// repository targets. best and cand are the double-buffered routing
+// evaluations; the returned slice is whichever buffer holds the winner.
+func (s *Subproblem) localSearch(x []bool, best, cand []float64, gain float64, caps []float64) ([]bool, []float64, float64) {
 	if x == nil {
-		return x, y, gain
+		return x, best, gain
 	}
 	const maxPasses = 4
-	work := append([]bool(nil), x...)
+	work := s.ws.workX
+	copy(work, x)
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		for out := 0; out < s.inst.F; out++ {
@@ -389,10 +474,11 @@ func (s *Subproblem) localSearch(x []bool, y []float64, gain float64, caps []flo
 					continue
 				}
 				work[out], work[in] = false, true
-				candY, candGain := s.RoutingGivenCache(work, caps)
+				candGain := s.routingGivenCacheInto(work, caps, cand)
 				if candGain > gain+1e-9 {
-					gain, y = candGain, candY
-					x = append(x[:0], work...)
+					gain = candGain
+					best, cand = cand, best
+					copy(x, work)
 					improved = true
 					break // 'out' is no longer cached; rescan
 				}
@@ -403,20 +489,25 @@ func (s *Subproblem) localSearch(x []bool, y []float64, gain float64, caps []flo
 			break
 		}
 	}
-	return x, y, gain
+	return x, best, gain
 }
 
 // greedyCache builds a cache vector by repeatedly adding the content with
 // the largest marginal routing gain (a submodular-style greedy). It is the
 // fallback candidate that keeps primal recovery strong when the dual
-// multipliers have not yet separated the useful contents.
+// multipliers have not yet separated the useful contents. The returned
+// vector is the workspace's greedyX buffer.
 func (s *Subproblem) greedyCache(caps []float64) []bool {
+	ws := &s.ws
+	x := ws.greedyX
+	for f := range x {
+		x[f] = false
+	}
 	capN := s.inst.CacheCap[s.n]
-	x := make([]bool, s.inst.F)
 	if capN == 0 || len(s.items) == 0 {
 		return x
 	}
-	_, baseGain := s.RoutingGivenCache(x, caps)
+	baseGain := s.routingGivenCacheInto(x, caps, ws.scratchY)
 	for picked := 0; picked < capN; picked++ {
 		bestF, bestGain := -1, baseGain
 		for f := 0; f < s.inst.F; f++ {
@@ -424,7 +515,7 @@ func (s *Subproblem) greedyCache(caps []float64) []bool {
 				continue
 			}
 			x[f] = true
-			_, gain := s.RoutingGivenCache(x, caps)
+			gain := s.routingGivenCacheInto(x, caps, ws.scratchY)
 			x[f] = false
 			if gain > bestGain+1e-12 {
 				bestF, bestGain = f, gain
@@ -439,34 +530,78 @@ func (s *Subproblem) greedyCache(caps []float64) []bool {
 	return x
 }
 
-// candidateSet deduplicates cache vectors up to a size cap.
-type candidateSet struct {
+// candidatePool deduplicates cache vectors up to a size cap, with every
+// slot preallocated so add never touches the heap.
+type candidatePool struct {
 	max  int
-	seen map[string]bool
+	n    int
 	list [][]bool
 }
 
-func newCandidateSet(max int) *candidateSet {
-	return &candidateSet{max: max, seen: make(map[string]bool)}
+func newCandidatePool(max, f int) candidatePool {
+	p := candidatePool{max: max, list: make([][]bool, max)}
+	for i := range p.list {
+		p.list[i] = make([]bool, f)
+	}
+	return p
 }
 
-func (c *candidateSet) add(x []bool) {
-	if len(c.list) >= c.max {
+func (c *candidatePool) reset() { c.n = 0 }
+
+func (c *candidatePool) add(x []bool) {
+	if c.n >= c.max {
 		return
 	}
-	key := make([]byte, len(x))
-	for i, v := range x {
-		if v {
-			key[i] = 1
+	for i := 0; i < c.n; i++ {
+		if boolsEqual(c.list[i], x) {
+			return
 		}
 	}
-	k := string(key)
-	if c.seen[k] {
-		return
-	}
-	c.seen[k] = true
-	c.list = append(c.list, append([]bool(nil), x...))
+	copy(c.list[c.n], x)
+	c.n++
 }
+
+func boolsEqual(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// scoreSorter orders content indices by score descending, ties by index.
+type scoreSorter struct {
+	idx   []int
+	score []float64
+}
+
+func (s *scoreSorter) Len() int { return len(s.idx) }
+func (s *scoreSorter) Less(a, b int) bool {
+	ia, ib := s.idx[a], s.idx[b]
+	if s.score[ia] != s.score[ib] {
+		return s.score[ia] > s.score[ib]
+	}
+	return ia < ib
+}
+func (s *scoreSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// ratioSorter orders item indices by precomputed w/λ ascending, ties by
+// index.
+type ratioSorter struct {
+	order []int
+	ratio []float64
+}
+
+func (s *ratioSorter) Len() int { return len(s.order) }
+func (s *ratioSorter) Less(a, b int) bool {
+	ia, ib := s.order[a], s.order[b]
+	if s.ratio[ia] != s.ratio[ib] {
+		return s.ratio[ia] < s.ratio[ib]
+	}
+	return ia < ib
+}
+func (s *ratioSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
 
 func clamp01(v float64) float64 {
 	if v < 0 {

@@ -43,7 +43,7 @@ func randomInstance(rng *rand.Rand, n, u, f int) *model.Instance {
 	return inst
 }
 
-func zeroYMinus(inst *model.Instance) [][]float64 { return inst.NewZeroMatrix() }
+func zeroYMinus(inst *model.Instance) model.Mat { return inst.NewUFMat() }
 
 func TestNewSubproblemErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
@@ -68,19 +68,17 @@ func TestSolveShapeValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sub.Solve(make([][]float64, 2)); err == nil {
+	if _, err := sub.Solve(model.NewMat(2, inst.F)); err == nil {
 		t.Error("wrong row count: want error")
 	}
-	bad := inst.NewZeroMatrix()
-	bad[1] = bad[1][:2]
-	if _, err := sub.Solve(bad); err == nil {
+	if _, err := sub.Solve(model.NewMat(inst.U, 2)); err == nil {
 		t.Error("wrong column count: want error")
 	}
 }
 
 // checkResultFeasible verifies a sub-problem result against the full
 // constraint system for SBS n, with the aggregate routing of the others.
-func checkResultFeasible(t *testing.T, inst *model.Instance, n int, res *Result, yMinus [][]float64) {
+func checkResultFeasible(t *testing.T, inst *model.Instance, n int, res *Result, yMinus model.Mat) {
 	t.Helper()
 	// Cache capacity.
 	count := 0
@@ -95,7 +93,7 @@ func checkResultFeasible(t *testing.T, inst *model.Instance, n int, res *Result,
 	var load float64
 	for u := 0; u < inst.U; u++ {
 		for f := 0; f < inst.F; f++ {
-			v := res.Routing[u][f]
+			v := res.Routing.At(u, f)
 			if v < 0 || v > 1+1e-9 {
 				t.Fatalf("routing[%d][%d] = %v outside [0,1]", u, f, v)
 			}
@@ -106,8 +104,8 @@ func checkResultFeasible(t *testing.T, inst *model.Instance, n int, res *Result,
 				if !inst.Links[n][u] {
 					t.Fatalf("routing[%d][%d] = %v without link", u, f, v)
 				}
-				if v+yMinus[u][f] > 1+1e-6 {
-					t.Fatalf("routing[%d][%d] overserves: %v + %v > 1", u, f, v, yMinus[u][f])
+				if v+yMinus.At(u, f) > 1+1e-6 {
+					t.Fatalf("routing[%d][%d] overserves: %v + %v > 1", u, f, v, yMinus.At(u, f))
 				}
 			}
 			load += v * inst.Demand[u][f]
@@ -157,10 +155,10 @@ func TestSolveMatchesExact(t *testing.T) {
 		}
 		yMinus := zeroYMinus(inst)
 		// Random partial pre-service from "other SBSs".
-		for u := range yMinus {
-			for f := range yMinus[u] {
+		for u := 0; u < inst.U; u++ {
+			for f := 0; f < inst.F; f++ {
 				if rng.Float64() < 0.3 {
-					yMinus[u][f] = rng.Float64()
+					yMinus.Set(u, f, rng.Float64())
 				}
 			}
 		}
@@ -213,22 +211,23 @@ func TestSolveRespectsResidualCaps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	yMinus := [][]float64{{1}}
+	yMinus := model.NewMat(1, 1)
+	yMinus.Set(0, 0, 1)
 	res, err := sub.Solve(yMinus)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Routing[0][0] != 0 {
-		t.Errorf("routing = %v, want 0 (demand already served)", res.Routing[0][0])
+	if res.Routing.At(0, 0) != 0 {
+		t.Errorf("routing = %v, want 0 (demand already served)", res.Routing.At(0, 0))
 	}
 	// Half pre-served: can serve at most the other half.
-	yMinus[0][0] = 0.5
+	yMinus.Set(0, 0, 0.5)
 	res, err = sub.Solve(yMinus)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(res.Routing[0][0]-0.5) > 1e-9 {
-		t.Errorf("routing = %v, want 0.5", res.Routing[0][0])
+	if math.Abs(res.Routing.At(0, 0)-0.5) > 1e-9 {
+		t.Errorf("routing = %v, want 0.5", res.Routing.At(0, 0))
 	}
 }
 
@@ -252,11 +251,11 @@ func TestSolveBandwidthBinds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(res.Routing[0][0]-1) > 1e-9 {
-		t.Errorf("high-value MU served %v, want 1", res.Routing[0][0])
+	if math.Abs(res.Routing.At(0, 0)-1) > 1e-9 {
+		t.Errorf("high-value MU served %v, want 1", res.Routing.At(0, 0))
 	}
-	if res.Routing[1][0] > 1e-9 {
-		t.Errorf("low-value MU served %v, want 0 (bandwidth exhausted)", res.Routing[1][0])
+	if res.Routing.At(1, 0) > 1e-9 {
+		t.Errorf("low-value MU served %v, want 0 (bandwidth exhausted)", res.Routing.At(1, 0))
 	}
 }
 
@@ -282,8 +281,8 @@ func TestSolveCacheCapacityBinds(t *testing.T) {
 	if !res.Cache[1] || res.Cache[0] || res.Cache[2] {
 		t.Errorf("cache = %v, want only content 1", res.Cache)
 	}
-	if math.Abs(res.Routing[0][1]-1) > 1e-9 {
-		t.Errorf("routing[0][1] = %v, want 1", res.Routing[0][1])
+	if math.Abs(res.Routing.At(0, 1)-1) > 1e-9 {
+		t.Errorf("routing[0][1] = %v, want 1", res.Routing.At(0, 1))
 	}
 }
 
@@ -334,9 +333,9 @@ func TestSolveFeasibilityProperty(t *testing.T) {
 			return false
 		}
 		yMinus := zeroYMinus(inst)
-		for u := range yMinus {
-			for f := range yMinus[u] {
-				yMinus[u][f] = rng.Float64() * 1.2 // may exceed 1: cap must clamp
+		for u := 0; u < inst.U; u++ {
+			for f := 0; f < inst.F; f++ {
+				yMinus.Set(u, f, rng.Float64()*1.2) // may exceed 1: cap must clamp
 			}
 		}
 		res, err := sub.Solve(yMinus)
@@ -355,14 +354,14 @@ func TestSolveFeasibilityProperty(t *testing.T) {
 		var load float64
 		for u := 0; u < inst.U; u++ {
 			for f := 0; f < inst.F; f++ {
-				v := res.Routing[u][f]
+				v := res.Routing.At(u, f)
 				if v < 0 || v > 1+1e-9 {
 					return false
 				}
 				if v > 1e-9 && (!res.Cache[f] || !inst.Links[0][u]) {
 					return false
 				}
-				if v > clamp01(1-yMinus[u][f])+1e-9 {
+				if v > clamp01(1-yMinus.At(u, f))+1e-9 {
 					return false
 				}
 				load += v * inst.Demand[u][f]

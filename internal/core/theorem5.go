@@ -83,16 +83,15 @@ func EvaluateTheorem5(inst *model.Instance, lppm *LPPM, y *model.RoutingPolicy,
 	for s := 0; s < samples; s++ {
 		var noiseMass float64
 		for n := 0; n < inst.N; n++ {
-			block, err := lppm.withRng(rng).Perturb("theorem5", y.Route[n])
+			clean := y.SBS(n)
+			block, err := lppm.withRng(rng).Perturb("theorem5", clean)
 			if err != nil {
 				return nil, err
 			}
-			for u := range block {
-				for f := range block[u] {
-					noiseMass += y.Route[n][u][f] - block[u][f]
-				}
+			for i, v := range block.Data {
+				noiseMass += clean.Data[i] - v
 			}
-			noised.Route[n] = block
+			noised.SetSBS(n, block)
 		}
 		if noiseMass <= zeta {
 			within++

@@ -179,15 +179,8 @@ func RunChurnStudy(base *model.Instance, churn ChurnConfig, sub core.SubproblemC
 	return res, nil
 }
 
-// cacheDiff counts placements present in exactly one of the two policies.
+// cacheDiff counts placements present in exactly one of the two policies
+// (an XOR-popcount over the packed bitsets).
 func cacheDiff(a, b *model.CachingPolicy) int {
-	diff := 0
-	for n := range a.Cache {
-		for f := range a.Cache[n] {
-			if a.Cache[n][f] != b.Cache[n][f] {
-				diff++
-			}
-		}
-	}
-	return diff
+	return a.DiffCount(b)
 }

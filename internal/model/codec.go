@@ -81,8 +81,8 @@ func (s *Solution) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(solutionJSON{
-		Caching:  s.Caching.Cache,
-		Routing:  s.Routing.Route,
+		Caching:  s.Caching.Bools(),
+		Routing:  s.Routing.Blocks(),
 		Edge:     s.Cost.Edge,
 		Backhaul: s.Cost.Backhaul,
 		Total:    s.Cost.Total,
@@ -99,10 +99,6 @@ func ReadSolutionJSON(r io.Reader, in *Instance) (*Solution, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&raw); err != nil {
 		return nil, fmt.Errorf("model: decode solution: %w", err)
-	}
-	sol := &Solution{
-		Caching: &CachingPolicy{Cache: raw.Caching},
-		Routing: &RoutingPolicy{Route: raw.Routing},
 	}
 	if len(raw.Caching) != in.N || len(raw.Routing) != in.N {
 		return nil, fmt.Errorf("model: solution sized for %d SBSs, instance has %d", len(raw.Caching), in.N)
@@ -121,6 +117,15 @@ func ReadSolutionJSON(r io.Reader, in *Instance) (*Solution, error) {
 			}
 		}
 	}
+	caching, err := CachingPolicyFromBools(raw.Caching)
+	if err != nil {
+		return nil, err
+	}
+	routing, err := RoutingPolicyFromBlocks(raw.Routing)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Caching: caching, Routing: routing}
 	if vs := CheckFeasibility(in, sol.Caching, sol.Routing); len(vs) != 0 {
 		return nil, fmt.Errorf("model: stored solution infeasible:\n%s", FormatViolations(vs))
 	}

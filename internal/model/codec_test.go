@@ -52,9 +52,9 @@ func TestReadJSONErrors(t *testing.T) {
 func TestSolutionJSONRoundTrip(t *testing.T) {
 	in := testInstance()
 	x := NewCachingPolicy(in)
-	x.Cache[0][0] = true
+	x.Set(0, 0, true)
 	y := NewRoutingPolicy(in)
-	y.Route[0][0][0] = 0.5
+	y.Set(0, 0, 0, 0.5)
 	sol := &Solution{Caching: x, Routing: y, Cost: TotalServingCost(in, y)}
 
 	var buf bytes.Buffer
@@ -65,7 +65,7 @@ func TestSolutionJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.Caching.Cache[0][0] || got.Routing.Route[0][0][0] != 0.5 {
+	if !got.Caching.Get(0, 0) || got.Routing.At(0, 0, 0) != 0.5 {
 		t.Error("policies changed through round trip")
 	}
 	if got.Cost.Total != sol.Cost.Total {
@@ -76,7 +76,7 @@ func TestSolutionJSONRoundTrip(t *testing.T) {
 func TestSolutionJSONRejectsInfeasible(t *testing.T) {
 	in := testInstance()
 	y := NewRoutingPolicy(in)
-	y.Route[0][0][0] = 0.5 // routed without being cached
+	y.Set(0, 0, 0, 0.5) // routed without being cached
 	sol := &Solution{Caching: NewCachingPolicy(in), Routing: y}
 	var buf bytes.Buffer
 	if err := sol.WriteJSON(&buf); err != nil {

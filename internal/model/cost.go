@@ -16,13 +16,16 @@ type CostBreakdown struct {
 func EdgeServingCost(in *Instance, y *RoutingPolicy) float64 {
 	var cost float64
 	for n := 0; n < in.N; n++ {
+		block := y.T.SBSRow(n)
 		for u := 0; u < in.U; u++ {
 			if !in.Links[n][u] {
 				continue
 			}
 			d := in.EdgeCost[n][u]
-			for f := 0; f < in.F; f++ {
-				cost += d * y.Route[n][u][f] * in.Demand[u][f]
+			row := block.Row(u)
+			demand := in.Demand[u]
+			for f := range row {
+				cost += d * row[f] * demand[f]
 			}
 		}
 	}
@@ -35,15 +38,24 @@ func EdgeServingCost(in *Instance, y *RoutingPolicy) float64 {
 // backhaul cost.
 func BackhaulServingCost(in *Instance, y *RoutingPolicy) float64 {
 	agg := y.Aggregate(in)
+	return BackhaulCostFromAggregate(in, agg)
+}
+
+// BackhaulCostFromAggregate evaluates f2 from an already-computed masked
+// aggregate Σ_n y·l (e.g. the AggregateTracker's running matrix), avoiding
+// the O(N·U·F) rebuild.
+func BackhaulCostFromAggregate(in *Instance, agg Mat) float64 {
 	var cost float64
 	for u := 0; u < in.U; u++ {
 		dHat := in.BSCost[u]
-		for f := 0; f < in.F; f++ {
-			residual := 1 - agg[u][f]
+		row := agg.Row(u)
+		demand := in.Demand[u]
+		for f := range row {
+			residual := 1 - row[f]
 			if residual < 0 {
 				residual = 0
 			}
-			cost += dHat * residual * in.Demand[u][f]
+			cost += dHat * residual * demand[f]
 		}
 	}
 	return cost
@@ -53,6 +65,16 @@ func BackhaulServingCost(in *Instance, y *RoutingPolicy) float64 {
 func TotalServingCost(in *Instance, y *RoutingPolicy) CostBreakdown {
 	edge := EdgeServingCost(in, y)
 	backhaul := BackhaulServingCost(in, y)
+	return CostBreakdown{Edge: edge, Backhaul: backhaul, Total: edge + backhaul}
+}
+
+// TotalServingCostFromAggregate is TotalServingCost with the backhaul part
+// evaluated from a pre-computed aggregate. The sweep loop uses it with the
+// AggregateTracker's running matrix so per-sweep cost evaluation allocates
+// nothing.
+func TotalServingCostFromAggregate(in *Instance, y *RoutingPolicy, agg Mat) CostBreakdown {
+	edge := EdgeServingCost(in, y)
+	backhaul := BackhaulCostFromAggregate(in, agg)
 	return CostBreakdown{Edge: edge, Backhaul: backhaul, Total: edge + backhaul}
 }
 
@@ -67,12 +89,14 @@ func ServedFraction(in *Instance, y *RoutingPolicy) float64 {
 	agg := y.Aggregate(in)
 	var served float64
 	for u := 0; u < in.U; u++ {
-		for f := 0; f < in.F; f++ {
-			frac := agg[u][f]
+		row := agg.Row(u)
+		demand := in.Demand[u]
+		for f := range row {
+			frac := row[f]
 			if frac > 1 {
 				frac = 1
 			}
-			served += frac * in.Demand[u][f]
+			served += frac * demand[f]
 		}
 	}
 	return served / total

@@ -50,16 +50,18 @@ func CheckFeasibility(in *Instance, x *CachingPolicy, y *RoutingPolicy) []Violat
 
 	// Box constraints and eq. 2: routing requires the content cached.
 	for n := 0; n < in.N; n++ {
+		block := y.SBS(n)
 		for u := 0; u < in.U; u++ {
-			for f := 0; f < in.F; f++ {
-				v := y.Route[n][u][f]
+			row := block.Row(u)
+			for f := range row {
+				v := row[f]
 				if v < -FeasibilityTolerance || v > 1+FeasibilityTolerance {
 					if add(Violation{"box", fmt.Sprintf("n=%d u=%d f=%d", n, u, f), boxExcess(v)}) {
 						return out
 					}
 					continue
 				}
-				if v > FeasibilityTolerance && !x.Cache[n][f] {
+				if v > FeasibilityTolerance && !x.Get(n, f) {
 					if add(Violation{"routing-requires-cache (2)", fmt.Sprintf("n=%d u=%d f=%d", n, u, f), v}) {
 						return out
 					}
@@ -85,9 +87,10 @@ func CheckFeasibility(in *Instance, x *CachingPolicy, y *RoutingPolicy) []Violat
 	// Eq. 4: no demand served more than once in total.
 	agg := y.Aggregate(in)
 	for u := 0; u < in.U; u++ {
-		for f := 0; f < in.F; f++ {
-			if agg[u][f] > 1+FeasibilityTolerance {
-				if add(Violation{"no-overserve (4)", fmt.Sprintf("u=%d f=%d", u, f), agg[u][f] - 1}) {
+		row := agg.Row(u)
+		for f := range row {
+			if row[f] > 1+FeasibilityTolerance {
+				if add(Violation{"no-overserve (4)", fmt.Sprintf("u=%d f=%d", u, f), row[f] - 1}) {
 					return out
 				}
 			}

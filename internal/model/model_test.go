@@ -147,7 +147,7 @@ func TestCostBreakdown(t *testing.T) {
 	in := testInstance()
 	y := NewRoutingPolicy(in)
 	// SBS0 fully serves MU0's demand for content 0 (λ=10, d=1, d̂=100).
-	y.Route[0][0][0] = 1
+	y.Set(0, 0, 0, 1)
 	cb := TotalServingCost(in, y)
 	if got, want := cb.Edge, 10.0; math.Abs(got-want) > 1e-12 {
 		t.Errorf("Edge = %v, want %v", got, want)
@@ -164,8 +164,8 @@ func TestBackhaulClampsOverserve(t *testing.T) {
 	in := testInstance()
 	y := NewRoutingPolicy(in)
 	// Both SBSs serve MU0's content 0 fully: aggregate = 2, residual clamps to 0.
-	y.Route[0][0][0] = 1
-	y.Route[1][0][0] = 1
+	y.Set(0, 0, 0, 1)
+	y.Set(1, 0, 0, 1)
 	got := BackhaulServingCost(in, y)
 	want := 4320.0 - 1000.0 // only content 0 of MU0 removed, not doubly credited
 	if math.Abs(got-want) > 1e-9 {
@@ -176,33 +176,33 @@ func TestBackhaulClampsOverserve(t *testing.T) {
 func TestAggregateMasksLinks(t *testing.T) {
 	in := testInstance()
 	y := NewRoutingPolicy(in)
-	y.Route[1][2][0] = 1 // SBS1 has no link to MU2: must not count
+	y.Set(1, 2, 0, 1) // SBS1 has no link to MU2: must not count
 	agg := y.Aggregate(in)
-	if agg[2][0] != 0 {
-		t.Errorf("Aggregate counted unlinked routing: %v", agg[2][0])
+	if agg.At(2, 0) != 0 {
+		t.Errorf("Aggregate counted unlinked routing: %v", agg.At(2, 0))
 	}
 }
 
 func TestAggregateExcept(t *testing.T) {
 	in := testInstance()
 	y := NewRoutingPolicy(in)
-	y.Route[0][0][0] = 0.25
-	y.Route[1][0][0] = 0.5
+	y.Set(0, 0, 0, 0.25)
+	y.Set(1, 0, 0, 0.5)
 	agg := y.AggregateExcept(in, 0)
-	if agg[0][0] != 0.5 {
-		t.Errorf("AggregateExcept(0)[0][0] = %v, want 0.5", agg[0][0])
+	if agg.At(0, 0) != 0.5 {
+		t.Errorf("AggregateExcept(0)[0][0] = %v, want 0.5", agg.At(0, 0))
 	}
 	agg = y.AggregateExcept(in, 1)
-	if agg[0][0] != 0.25 {
-		t.Errorf("AggregateExcept(1)[0][0] = %v, want 0.25", agg[0][0])
+	if agg.At(0, 0) != 0.25 {
+		t.Errorf("AggregateExcept(1)[0][0] = %v, want 0.25", agg.At(0, 0))
 	}
 }
 
 func TestLoad(t *testing.T) {
 	in := testInstance()
 	y := NewRoutingPolicy(in)
-	y.Route[0][0][0] = 0.5 // 0.5·10 = 5
-	y.Route[0][1][3] = 1.0 // 1·2 = 2
+	y.Set(0, 0, 0, 0.5) // 0.5·10 = 5
+	y.Set(0, 1, 3, 1.0) // 1·2 = 2
 	if got, want := y.Load(in, 0), 7.0; got != want {
 		t.Errorf("Load(0) = %v, want %v", got, want)
 	}
@@ -214,12 +214,12 @@ func TestServedFraction(t *testing.T) {
 	if got := ServedFraction(in, y); got != 0 {
 		t.Errorf("ServedFraction(empty) = %v, want 0", got)
 	}
-	y.Route[0][0][0] = 1 // 10 of 40 units
+	y.Set(0, 0, 0, 1) // 10 of 40 units
 	if got, want := ServedFraction(in, y), 0.25; math.Abs(got-want) > 1e-12 {
 		t.Errorf("ServedFraction = %v, want %v", got, want)
 	}
 	// Overserve must clamp per-demand at 1.
-	y.Route[1][0][0] = 1
+	y.Set(1, 0, 0, 1)
 	if got, want := ServedFraction(in, y), 0.25; math.Abs(got-want) > 1e-12 {
 		t.Errorf("ServedFraction with overserve = %v, want %v", got, want)
 	}
@@ -238,48 +238,50 @@ func TestFeasibilityDetectsEachViolation(t *testing.T) {
 	})
 	t.Run("cache-capacity", func(t *testing.T) {
 		x := feasX()
-		x.Cache[1][0], x.Cache[1][1] = true, true // cap is 1
+		x.Set(1, 0, true)
+		x.Set(1, 1, true) // cap is 1
 		vs := CheckFeasibility(in, x, feasY())
 		requireViolation(t, vs, "cache-capacity (1)")
 	})
 	t.Run("routing-requires-cache", func(t *testing.T) {
 		y := feasY()
-		y.Route[0][0][0] = 0.5
+		y.Set(0, 0, 0, 0.5)
 		vs := CheckFeasibility(in, feasX(), y)
 		requireViolation(t, vs, "routing-requires-cache (2)")
 	})
 	t.Run("bandwidth", func(t *testing.T) {
 		x := feasX()
-		x.Cache[1][0] = true
+		x.Set(1, 0, true)
 		y := feasY()
-		y.Route[1][0][0] = 1 // load 10 = B exactly: feasible
+		y.Set(1, 0, 0, 1) // load 10 = B exactly: feasible
 		if vs := CheckFeasibility(in, x, y); len(vs) != 0 {
 			t.Fatalf("load at capacity flagged infeasible: %s", FormatViolations(vs))
 		}
-		y.Route[1][1][0] = 0.5 // +1 unit: over B=10
+		y.Set(1, 1, 0, 0.5) // +1 unit: over B=10
 		vs := CheckFeasibility(in, x, y)
 		requireViolation(t, vs, "bandwidth (3)")
 	})
 	t.Run("no-overserve", func(t *testing.T) {
 		x := feasX()
-		x.Cache[0][3], x.Cache[1][3] = true, true
+		x.Set(0, 3, true)
+		x.Set(1, 3, true)
 		y := feasY()
-		y.Route[0][1][3] = 0.8
-		y.Route[1][1][3] = 0.8
+		y.Set(0, 1, 3, 0.8)
+		y.Set(1, 1, 3, 0.8)
 		vs := CheckFeasibility(in, x, y)
 		requireViolation(t, vs, "no-overserve (4)")
 	})
 	t.Run("box", func(t *testing.T) {
 		y := feasY()
-		y.Route[0][0][0] = -0.2
+		y.Set(0, 0, 0, -0.2)
 		vs := CheckFeasibility(in, feasX(), y)
 		requireViolation(t, vs, "box")
 	})
 	t.Run("no-link", func(t *testing.T) {
 		x := feasX()
-		x.Cache[1][0] = true
+		x.Set(1, 0, true)
 		y := feasY()
-		y.Route[1][2][0] = 0.3 // SBS1 not linked to MU2
+		y.Set(1, 2, 0, 0.3) // SBS1 not linked to MU2
 		vs := CheckFeasibility(in, x, y)
 		requireViolation(t, vs, "no-link")
 	})
@@ -311,7 +313,7 @@ func TestFeasibilityViolationCap(t *testing.T) {
 	y := NewRoutingPolicy(in)
 	for u := 0; u < 30; u++ {
 		for f := 0; f < 30; f++ {
-			y.Route[0][u][f] = -1 // 900 box violations
+			y.Set(0, u, f, -1) // 900 box violations
 		}
 	}
 	vs := CheckFeasibility(in, NewCachingPolicy(in), y)
@@ -323,10 +325,10 @@ func TestFeasibilityViolationCap(t *testing.T) {
 func TestPolicyClones(t *testing.T) {
 	in := testInstance()
 	x := NewCachingPolicy(in)
-	x.Cache[0][1] = true
+	x.Set(0, 1, true)
 	xc := x.Clone()
-	xc.Cache[0][1] = false
-	if !x.Cache[0][1] {
+	xc.Set(0, 1, false)
+	if !x.Get(0, 1) {
 		t.Fatal("CachingPolicy.Clone shares storage")
 	}
 	if got := x.Contents(0); len(got) != 1 || got[0] != 1 {
@@ -337,15 +339,15 @@ func TestPolicyClones(t *testing.T) {
 	}
 
 	y := NewRoutingPolicy(in)
-	y.Route[0][0][0] = 0.5
+	y.Set(0, 0, 0, 0.5)
 	yc := y.Clone()
-	yc.Route[0][0][0] = 0.9
-	if y.Route[0][0][0] != 0.5 {
+	yc.Set(0, 0, 0, 0.9)
+	if y.At(0, 0, 0) != 0.5 {
 		t.Fatal("RoutingPolicy.Clone shares storage")
 	}
 
-	y.SetSBS(1, in.NewZeroMatrix())
-	if y.SBS(1)[0][0] != 0 {
+	y.SetSBS(1, in.NewUFMat())
+	if y.SBS(1).At(0, 0) != 0 {
 		t.Fatal("SetSBS did not replace block")
 	}
 }

@@ -1,34 +1,126 @@
 package model
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
-// CachingPolicy holds the binary caching decisions x_nf: Cache[n][f] reports
-// whether SBS n stores content f.
+// CachingPolicy holds the binary caching decisions x_nf: Get(n, f) reports
+// whether SBS n stores content f. The rows are packed into a single
+// []uint64 bitset (one cache line covers 512 contents), so Count is a
+// popcount sweep and DiffCount an XOR-popcount — both branch-free.
 type CachingPolicy struct {
-	Cache [][]bool // N × F
+	// N and F are the numbers of SBSs and contents.
+	N, F int
+	// wordsPerRow is the per-SBS stride in 64-bit words.
+	wordsPerRow int
+	// bits is the packed storage: SBS n's row occupies
+	// bits[n*wordsPerRow : (n+1)*wordsPerRow], content f at bit f%64 of
+	// word f/64.
+	bits []uint64
 }
 
 // NewCachingPolicy returns an all-empty caching policy sized for in.
 func NewCachingPolicy(in *Instance) *CachingPolicy {
-	c := make([][]bool, in.N)
-	for n := range c {
-		c[n] = make([]bool, in.F)
+	return NewCachingPolicyDims(in.N, in.F)
+}
+
+// NewCachingPolicyDims returns an all-empty N×F caching policy.
+func NewCachingPolicyDims(n, f int) *CachingPolicy {
+	w := (f + 63) / 64
+	return &CachingPolicy{N: n, F: f, wordsPerRow: w, bits: make([]uint64, n*w)}
+}
+
+// CachingPolicyFromBools builds a policy from nested rows (the stable
+// serialization shape), validating rectangularity.
+func CachingPolicyFromBools(rows [][]bool) (*CachingPolicy, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("model: caching policy needs at least one SBS row")
 	}
-	return &CachingPolicy{Cache: c}
+	f := len(rows[0])
+	p := NewCachingPolicyDims(n, f)
+	for i, row := range rows {
+		if len(row) != f {
+			return nil, fmt.Errorf("model: caching row %d has %d entries, want %d", i, len(row), f)
+		}
+		p.SetRow(i, row)
+	}
+	return p, nil
+}
+
+// Get reports whether SBS n caches content f.
+func (p *CachingPolicy) Get(n, f int) bool {
+	return p.bits[n*p.wordsPerRow+f/64]&(1<<(uint(f)%64)) != 0
+}
+
+// Set stores the caching decision for (n, f).
+func (p *CachingPolicy) Set(n, f int, cached bool) {
+	w := &p.bits[n*p.wordsPerRow+f/64]
+	mask := uint64(1) << (uint(f) % 64)
+	if cached {
+		*w |= mask
+	} else {
+		*w &^= mask
+	}
+}
+
+// SetRow replaces SBS n's cache vector from a []bool of length F. It is
+// allocation-free, so the coordinator uses it in the sweep hot path.
+func (p *CachingPolicy) SetRow(n int, row []bool) {
+	if len(row) != p.F {
+		panic(fmt.Sprintf("model: SetRow got %d entries, want F=%d", len(row), p.F))
+	}
+	base := n * p.wordsPerRow
+	for w := 0; w < p.wordsPerRow; w++ {
+		var word uint64
+		lo := w * 64
+		hi := lo + 64
+		if hi > p.F {
+			hi = p.F
+		}
+		for f := lo; f < hi; f++ {
+			if row[f] {
+				word |= 1 << (uint(f) % 64)
+			}
+		}
+		p.bits[base+w] = word
+	}
+}
+
+// RowBools materializes SBS n's cache vector as a fresh []bool.
+func (p *CachingPolicy) RowBools(n int) []bool {
+	row := make([]bool, p.F)
+	for f := 0; f < p.F; f++ {
+		row[f] = p.Get(n, f)
+	}
+	return row
+}
+
+// Bools materializes the full policy as nested rows (the stable
+// serialization shape).
+func (p *CachingPolicy) Bools() [][]bool {
+	rows := make([][]bool, p.N)
+	for n := range rows {
+		rows[n] = p.RowBools(n)
+	}
+	return rows
 }
 
 // Clone returns a deep copy of the policy.
 func (p *CachingPolicy) Clone() *CachingPolicy {
-	return &CachingPolicy{Cache: cloneBoolMatrix(p.Cache)}
+	return &CachingPolicy{
+		N: p.N, F: p.F, wordsPerRow: p.wordsPerRow,
+		bits: append([]uint64(nil), p.bits...),
+	}
 }
 
-// Count returns the number of contents cached at SBS n.
+// Count returns the number of contents cached at SBS n (a popcount sweep
+// over the row's words).
 func (p *CachingPolicy) Count(n int) int {
 	count := 0
-	for _, cached := range p.Cache[n] {
-		if cached {
-			count++
-		}
+	for _, w := range p.bits[n*p.wordsPerRow : (n+1)*p.wordsPerRow] {
+		count += bits.OnesCount64(w)
 	}
 	return count
 }
@@ -36,96 +128,256 @@ func (p *CachingPolicy) Count(n int) int {
 // Contents returns the cached contents of SBS n in increasing order.
 func (p *CachingPolicy) Contents(n int) []int {
 	var out []int
-	for f, cached := range p.Cache[n] {
-		if cached {
+	base := n * p.wordsPerRow
+	for wi := 0; wi < p.wordsPerRow; wi++ {
+		w := p.bits[base+wi]
+		for w != 0 {
+			f := wi*64 + bits.TrailingZeros64(w)
 			out = append(out, f)
+			w &= w - 1
 		}
 	}
 	return out
 }
 
+// DiffCount returns the number of (n, f) placements present in exactly one
+// of the two policies (the Hamming distance of the bitsets). Shapes must
+// match.
+func (p *CachingPolicy) DiffCount(o *CachingPolicy) int {
+	if p.N != o.N || p.F != o.F {
+		panic(fmt.Sprintf("model: DiffCount shape mismatch: %dx%d vs %dx%d", p.N, p.F, o.N, o.F))
+	}
+	diff := 0
+	for i := range p.bits {
+		diff += bits.OnesCount64(p.bits[i] ^ o.bits[i])
+	}
+	return diff
+}
+
 // RoutingPolicy holds the fractional routing decisions y_nuf ∈ [0,1]:
-// Route[n][u][f] is the fraction of MU group u's demand for content f that
-// SBS n serves.
+// At(n, u, f) is the fraction of MU group u's demand for content f that
+// SBS n serves. The decisions live in a flat N×U×F Tensor3; SBS(n) exposes
+// one SBS's U×F block as a zero-copy Mat view.
 type RoutingPolicy struct {
-	Route [][][]float64 // N × U × F
+	// T is the backing tensor. Direct Data access is allowed in tight
+	// loops; prefer the accessors elsewhere.
+	T Tensor3
 }
 
 // NewRoutingPolicy returns an all-zero routing policy sized for in.
 func NewRoutingPolicy(in *Instance) *RoutingPolicy {
-	r := make([][][]float64, in.N)
-	for n := range r {
-		r[n] = in.NewZeroMatrix()
-	}
-	return &RoutingPolicy{Route: r}
+	return &RoutingPolicy{T: NewTensor3(in.N, in.U, in.F)}
 }
+
+// RoutingPolicyFromBlocks copies nested per-SBS blocks (the stable
+// serialization shape) into a flat policy, validating shapes.
+func RoutingPolicyFromBlocks(blocks [][][]float64) (*RoutingPolicy, error) {
+	n := len(blocks)
+	if n == 0 {
+		return nil, fmt.Errorf("model: routing policy needs at least one SBS block")
+	}
+	u := len(blocks[0])
+	if u == 0 {
+		return nil, fmt.Errorf("model: routing block 0 is empty")
+	}
+	f := len(blocks[0][0])
+	p := &RoutingPolicy{T: NewTensor3(n, u, f)}
+	for i, block := range blocks {
+		if len(block) != u {
+			return nil, fmt.Errorf("model: routing block %d has %d rows, want %d", i, len(block), u)
+		}
+		for j, row := range block {
+			if len(row) != f {
+				return nil, fmt.Errorf("model: routing[%d][%d] has %d entries, want %d", i, j, len(row), f)
+			}
+			copy(p.T.SBSRow(i).Row(j), row)
+		}
+	}
+	return p, nil
+}
+
+// At returns y_nuf.
+func (p *RoutingPolicy) At(n, u, f int) float64 { return p.T.At(n, u, f) }
+
+// Set stores y_nuf.
+func (p *RoutingPolicy) Set(n, u, f int, v float64) { p.T.Set(n, u, f, v) }
 
 // Clone returns a deep copy of the policy.
 func (p *RoutingPolicy) Clone() *RoutingPolicy {
-	r := make([][][]float64, len(p.Route))
-	for n := range p.Route {
-		r[n] = cloneMatrix(p.Route[n])
+	return &RoutingPolicy{T: p.T.Clone()}
+}
+
+// SetSBS replaces SBS n's routing block with a copy of y (U×F). It is
+// allocation-free: the data is copied into the tensor's backing array.
+func (p *RoutingPolicy) SetSBS(n int, y Mat) {
+	p.T.SBSRow(n).CopyFrom(y)
+}
+
+// SBS returns SBS n's routing block as a Mat view without copying. Callers
+// must not mutate the result unless they own the policy.
+func (p *RoutingPolicy) SBS(n int) Mat { return p.T.SBSRow(n) }
+
+// Blocks materializes the policy as nested per-SBS blocks (the stable
+// serialization shape).
+func (p *RoutingPolicy) Blocks() [][][]float64 {
+	out := make([][][]float64, p.T.N)
+	for n := range out {
+		out[n] = p.T.SBSRow(n).Rows()
 	}
-	return &RoutingPolicy{Route: r}
+	return out
 }
-
-// SetSBS replaces SBS n's routing block with a copy of y (U×F).
-func (p *RoutingPolicy) SetSBS(n int, y [][]float64) {
-	p.Route[n] = cloneMatrix(y)
-}
-
-// SBS returns SBS n's routing block without copying. Callers must not
-// mutate the result unless they own the policy.
-func (p *RoutingPolicy) SBS(n int) [][]float64 { return p.Route[n] }
 
 // Aggregate returns Σ_n y_nuf·l_nu as a U×F matrix: the total fraction of
 // each (u,f) demand served at the edge. This is the quantity the BS
 // assembles and broadcasts in the distributed algorithm.
-func (p *RoutingPolicy) Aggregate(in *Instance) [][]float64 {
-	agg := in.NewZeroMatrix()
+func (p *RoutingPolicy) Aggregate(in *Instance) Mat {
+	agg := NewMat(in.U, in.F)
+	p.AggregateInto(in, agg)
+	return agg
+}
+
+// AggregateInto computes Aggregate into a caller-owned U×F matrix without
+// allocating. dst is overwritten.
+func (p *RoutingPolicy) AggregateInto(in *Instance, dst Mat) {
+	dst.Zero()
 	for n := 0; n < in.N; n++ {
+		block := p.T.SBSRow(n)
 		for u := 0; u < in.U; u++ {
 			if !in.Links[n][u] {
 				continue
 			}
-			for f := 0; f < in.F; f++ {
-				agg[u][f] += p.Route[n][u][f]
+			dstRow := dst.Row(u)
+			srcRow := block.Row(u)
+			for f := range dstRow {
+				dstRow[f] += srcRow[f]
 			}
 		}
 	}
-	return agg
 }
 
 // AggregateExcept returns the aggregate routing y_{-n} (eq. 14 of the
 // paper): the summed routing of every SBS other than n, masked by links.
-func (p *RoutingPolicy) AggregateExcept(in *Instance, n int) [][]float64 {
-	agg := in.NewZeroMatrix()
+//
+// The DUA sweep no longer calls this — the coordinator and the BS agent
+// maintain the aggregate incrementally (AggregateTracker) and derive
+// y_{-n} in O(U·F) — but it remains the reference definition that the
+// incremental path is tested against, and baselines still use it.
+func (p *RoutingPolicy) AggregateExcept(in *Instance, n int) Mat {
+	agg := NewMat(in.U, in.F)
+	p.AggregateExceptInto(in, n, agg)
+	return agg
+}
+
+// AggregateExceptInto computes AggregateExcept into a caller-owned U×F
+// matrix without allocating. dst is overwritten.
+func (p *RoutingPolicy) AggregateExceptInto(in *Instance, n int, dst Mat) {
+	dst.Zero()
 	for i := 0; i < in.N; i++ {
 		if i == n {
 			continue
 		}
+		block := p.T.SBSRow(i)
 		for u := 0; u < in.U; u++ {
 			if !in.Links[i][u] {
 				continue
 			}
-			for f := 0; f < in.F; f++ {
-				agg[u][f] += p.Route[i][u][f]
+			dstRow := dst.Row(u)
+			srcRow := block.Row(u)
+			for f := range dstRow {
+				dstRow[f] += srcRow[f]
 			}
 		}
 	}
-	return agg
 }
 
-// Load returns Σ_u Σ_f y_nuf·λ_uf, the bandwidth consumed at SBS n (left
-// side of eq. 3).
+// Load returns Σ_u Σ_f y_nuf·l_nu·λ_uf, the bandwidth consumed at SBS n
+// (left side of eq. 3). Entries on (n,u) pairs without a link are masked
+// out, mirroring Aggregate: an off-link routing entry is structurally
+// unservable (it already trips the no-link feasibility check), so it must
+// not inflate the bandwidth accounting either.
 func (p *RoutingPolicy) Load(in *Instance, n int) float64 {
 	var load float64
+	block := p.T.SBSRow(n)
 	for u := 0; u < in.U; u++ {
-		for f := 0; f < in.F; f++ {
-			load += p.Route[n][u][f] * in.Demand[u][f]
+		if !in.Links[n][u] {
+			continue
+		}
+		row := block.Row(u)
+		demand := in.Demand[u]
+		for f := range row {
+			load += row[f] * demand[f]
 		}
 	}
 	return load
+}
+
+// AggregateTracker maintains the running masked aggregate Σ_n y_nuf·l_nu
+// across a Gauss-Seidel sweep so each phase costs O(U·F) instead of the
+// O(N·U·F) AggregateExcept rebuild. The protocol per phase n is:
+//
+//	tracker.YMinusInto(in, y, n, yMinus)   // y_{-n} = agg − y_n (masked)
+//	... SBS n computes its new block from yMinus ...
+//	tracker.Install(in, y, n, yMinus, upload)
+//
+// Install writes the upload into y and rebuilds agg as yMinus + upload
+// (masked), so stale mass from the replaced block never accumulates: each
+// block's contribution is subtracted exactly once and re-added from fresh
+// values. The in-process Coordinator and the message-passing BS agent run
+// the identical update sequence, which keeps the two deployments
+// bit-for-bit equivalent.
+type AggregateTracker struct {
+	agg Mat
+}
+
+// NewAggregateTracker returns a tracker for an all-zero routing policy
+// sized for in.
+func NewAggregateTracker(in *Instance) *AggregateTracker {
+	return &AggregateTracker{agg: NewMat(in.U, in.F)}
+}
+
+// Reset re-synchronizes the tracker with policy y (a full O(N·U·F)
+// rebuild). Call it when y changes outside the YMinusInto/Install cycle.
+func (t *AggregateTracker) Reset(in *Instance, y *RoutingPolicy) {
+	y.AggregateInto(in, t.agg)
+}
+
+// Aggregate exposes the current aggregate as a view. Callers must not
+// mutate it.
+func (t *AggregateTracker) Aggregate() Mat { return t.agg }
+
+// YMinusInto computes y_{-n} = aggregate − SBS n's masked block into dst
+// without allocating. dst is overwritten.
+func (t *AggregateTracker) YMinusInto(in *Instance, y *RoutingPolicy, n int, dst Mat) {
+	dst.CopyFrom(t.agg)
+	block := y.T.SBSRow(n)
+	for u := 0; u < in.U; u++ {
+		if !in.Links[n][u] {
+			continue
+		}
+		dstRow := dst.Row(u)
+		srcRow := block.Row(u)
+		for f := range dstRow {
+			dstRow[f] -= srcRow[f]
+		}
+	}
+}
+
+// Install stores upload as SBS n's block in y and advances the aggregate
+// to yMinus + upload (masked by n's links), all without allocating.
+// yMinus must be the matrix YMinusInto produced for this phase.
+func (t *AggregateTracker) Install(in *Instance, y *RoutingPolicy, n int, yMinus, upload Mat) {
+	y.SetSBS(n, upload)
+	t.agg.CopyFrom(yMinus)
+	for u := 0; u < in.U; u++ {
+		if !in.Links[n][u] {
+			continue
+		}
+		aggRow := t.agg.Row(u)
+		upRow := upload.Row(u)
+		for f := range aggRow {
+			aggRow[f] += upRow[f]
+		}
+	}
 }
 
 // Solution bundles one pair of caching and routing policies together with

@@ -84,12 +84,20 @@ func (b *BSAgent) Run(ctx context.Context) (*core.RunResult, error) {
 	x := model.NewCachingPolicy(inst)
 	y := model.NewRoutingPolicy(inst)
 
+	// The BS maintains the masked aggregate incrementally, exactly like
+	// core.Coordinator (same operation order keeps the two deployments
+	// bit-for-bit equivalent): y_{-n} is derived in O(U·F) per phase and
+	// the aggregate advances only when an upload is actually installed.
+	tracker := model.NewAggregateTracker(inst)
+	yMinus := inst.NewUFMat()
+
 	res := &core.RunResult{}
 	var best *model.Solution
 	prevCost := math.Inf(1)
 	for sweep := 0; sweep < b.cfg.MaxSweeps; sweep++ {
 		for n := 0; n < inst.N; n++ {
-			if err := b.announcePhase(ctx, sweep, n, y); err != nil {
+			tracker.YMinusInto(inst, y, n, yMinus)
+			if err := b.announcePhase(ctx, sweep, n, yMinus); err != nil {
 				return nil, err
 			}
 			upload, ok, err := b.awaitUpload(ctx, sweep, n)
@@ -99,13 +107,14 @@ func (b *BSAgent) Run(ctx context.Context) (*core.RunResult, error) {
 			if !ok {
 				continue // SBS unreachable this phase: keep its old policy
 			}
-			if err := b.applyUpload(x, y, n, upload); err != nil {
+			if err := b.applyUpload(x, y, tracker, n, yMinus, upload); err != nil {
 				// A malformed upload is treated like a missing one; the
-				// previous policy stays in force.
+				// previous policy stays in force (and the aggregate is left
+				// untouched, so the tracker stays consistent with y).
 				continue
 			}
 		}
-		cost := model.TotalServingCost(inst, y)
+		cost := model.TotalServingCostFromAggregate(inst, y, tracker.Aggregate())
 		res.History = append(res.History, cost.Total)
 		res.Sweeps = sweep + 1
 		// Mirror core.Coordinator: the BS keeps the cheapest policy it has
@@ -129,10 +138,11 @@ func (b *BSAgent) Run(ctx context.Context) (*core.RunResult, error) {
 	return res, nil
 }
 
-// announcePhase sends y_{-n} to SBS n.
-func (b *BSAgent) announcePhase(ctx context.Context, sweep, n int, y *model.RoutingPolicy) error {
+// announcePhase sends y_{-n} to SBS n. The wire schema stays nested, so
+// the flat matrix is materialized at this boundary.
+func (b *BSAgent) announcePhase(ctx context.Context, sweep, n int, yMinus model.Mat) error {
 	payload, err := transport.EncodePayload(transport.AggregateAnnounce{
-		YMinus: y.AggregateExcept(b.inst, n),
+		YMinus: yMinus.Rows(),
 	})
 	if err != nil {
 		return err
@@ -170,22 +180,23 @@ func (b *BSAgent) awaitUpload(ctx context.Context, sweep, n int) (transport.Poli
 	}
 }
 
-// applyUpload validates shapes and installs SBS n's policies.
-func (b *BSAgent) applyUpload(x *model.CachingPolicy, y *model.RoutingPolicy, n int, up transport.PolicyUpload) error {
+// applyUpload validates shapes and installs SBS n's policies, advancing
+// the BS's running aggregate from the yMinus computed for this phase.
+func (b *BSAgent) applyUpload(x *model.CachingPolicy, y *model.RoutingPolicy,
+	tracker *model.AggregateTracker, n int, yMinus model.Mat, up transport.PolicyUpload) error {
 	inst := b.inst
 	if len(up.Cache) != inst.F {
 		return fmt.Errorf("sim: SBS %d cache vector has %d entries, want %d", n, len(up.Cache), inst.F)
 	}
-	if len(up.Routing) != inst.U {
-		return fmt.Errorf("sim: SBS %d routing has %d rows, want %d", n, len(up.Routing), inst.U)
+	routing, err := model.MatFromRows(up.Routing)
+	if err != nil {
+		return fmt.Errorf("sim: SBS %d routing: %w", n, err)
 	}
-	for u, row := range up.Routing {
-		if len(row) != inst.F {
-			return fmt.Errorf("sim: SBS %d routing row %d has %d entries, want %d", n, u, len(row), inst.F)
-		}
+	if routing.U != inst.U || routing.F != inst.F {
+		return fmt.Errorf("sim: SBS %d routing is %dx%d, want %dx%d", n, routing.U, routing.F, inst.U, inst.F)
 	}
-	copy(x.Cache[n], up.Cache)
-	y.SetSBS(n, up.Routing)
+	x.SetRow(n, up.Cache)
+	tracker.Install(inst, y, n, yMinus, routing)
 	return nil
 }
 
@@ -262,7 +273,11 @@ func (a *SBSAgent) handlePhase(ctx context.Context, msg transport.Message) error
 	if err := transport.DecodePayload(msg.Payload, &ann); err != nil {
 		return nil // malformed announcement: skip; the BS will time out
 	}
-	res, err := a.sub.Solve(ann.YMinus)
+	yMinus, err := model.MatFromRows(ann.YMinus)
+	if err != nil {
+		return nil // ragged announcement: skip; the BS will time out
+	}
+	res, err := a.sub.Solve(yMinus)
 	if err != nil {
 		return nil // unsolvable announcement (bad shapes): skip
 	}
@@ -273,7 +288,7 @@ func (a *SBSAgent) handlePhase(ctx context.Context, msg transport.Message) error
 			return err
 		}
 	}
-	payload, err := transport.EncodePayload(transport.PolicyUpload{Cache: res.Cache, Routing: routing})
+	payload, err := transport.EncodePayload(transport.PolicyUpload{Cache: res.Cache, Routing: routing.Rows()})
 	if err != nil {
 		return err
 	}

@@ -91,7 +91,7 @@ func TestDistributedMatchesInProcess(t *testing.T) {
 		}
 		for n := 0; n < inst.N; n++ {
 			for f := 0; f < inst.F; f++ {
-				if got.Solution.Caching.Cache[n][f] != want.Solution.Caching.Cache[n][f] {
+				if got.Solution.Caching.Get(n, f) != want.Solution.Caching.Get(n, f) {
 					t.Fatalf("trial %d: cache[%d][%d] differs", trial, n, f)
 				}
 			}
@@ -173,7 +173,7 @@ func TestBSToleratesCrashedSBS(t *testing.T) {
 	// The dead SBS's routing must be all zero.
 	for u := 0; u < inst.U; u++ {
 		for f := 0; f < inst.F; f++ {
-			if res.Solution.Routing.Route[1][u][f] != 0 {
+			if res.Solution.Routing.At(1, u, f) != 0 {
 				t.Fatal("silent SBS has nonzero routing")
 			}
 		}

@@ -96,7 +96,7 @@ func ValidatePolicy(inst *model.Instance, sol *model.Solution, opts ValidateOpti
 			if !inst.Links[n][req.Group] {
 				continue
 			}
-			share := sol.Routing.Route[n][req.Group][req.Content]
+			share := sol.Routing.At(n, req.Group, req.Content)
 			if share <= 0 {
 				continue
 			}

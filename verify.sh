@@ -1,0 +1,23 @@
+#!/bin/sh
+# verify.sh — the repository's tier-1 gate.
+#
+# Runs the static checks plus the race-enabled test suites of the three
+# packages that carry the concurrency- and hot-path-sensitive code:
+#
+#   internal/core      DUA sweep, zero-alloc subproblem workspaces
+#   internal/sim       distributed BS/SBS protocol (goroutines + transport)
+#   internal/transport in-process message passing
+#
+# CI and pre-merge checks call this script; it exits non-zero on the first
+# failure. The full (non-race) suite is `go test ./...`.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "verify: go vet ./..."
+go vet ./...
+
+echo "verify: go test -race ./internal/core/... ./internal/sim/... ./internal/transport/..."
+go test -race ./internal/core/... ./internal/sim/... ./internal/transport/...
+
+echo "verify: OK"
