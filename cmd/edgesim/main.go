@@ -8,6 +8,7 @@
 //	edgesim -distributed             # BS + SBS agents over an in-memory bus
 //	edgesim -groups 40 -links 60     # topology overrides
 //	edgesim -compare                 # also run LRFU and no-cache baselines
+//	edgesim -chaos "drop=0.3,crash=1@1+3"  # distributed run under faults
 package main
 
 import (
@@ -16,8 +17,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"edgecache/internal/baseline"
+	"edgecache/internal/chaos"
 	"edgecache/internal/core"
 	"edgecache/internal/dp"
 	"edgecache/internal/experiments"
@@ -46,6 +49,8 @@ func run(args []string) error {
 		epsilon     = fs.Float64("epsilon", 0, "LPPM privacy budget ε (0 disables privacy)")
 		delta       = fs.Float64("delta", 0.5, "LPPM Laplace component factor δ")
 		distributed = fs.Bool("distributed", false, "run BS and SBS agents over a message bus")
+		chaosSpec   = fs.String("chaos", "", "distributed run under a fault schedule, e.g. \"seed=7,drop=0.3,crash=1@1+3\"")
+		phaseTO     = fs.Duration("phase-timeout", 0, "BS phase timeout for -chaos runs (default 2s)")
 		compare     = fs.Bool("compare", false, "also run the LRFU and no-cache baselines")
 		restarts    = fs.Int("restarts", 0, "extra shuffled-order restarts (extension)")
 		jacobi      = fs.Bool("jacobi", false, "use the asynchronous Jacobi update mode (extension)")
@@ -118,6 +123,31 @@ func run(args []string) error {
 	var err error
 	mode := "in-process coordinator"
 	switch {
+	case *chaosSpec != "":
+		mode = "distributed agents under chaos schedule"
+		sched, perr := chaos.ParseSpec(*chaosSpec)
+		if perr != nil {
+			return perr
+		}
+		if *phaseTO <= 0 {
+			*phaseTO = 2 * time.Second
+		}
+		var report *chaos.Report
+		res, report, err = chaos.Run(context.Background(), inst, chaos.Config{
+			BS:         sim.BSConfig{PhaseTimeout: *phaseTO},
+			Sub:        core.DefaultSubproblemConfig(),
+			PrivacyFor: privacy,
+			Schedule:   sched,
+		})
+		if err == nil {
+			defer func() {
+				fmt.Printf("\nchaos: %d scheduled events fired, %d never triggered\n",
+					len(report.Fired), len(report.Unfired))
+				for _, f := range report.Fired {
+					fmt.Printf("  %s (fired at sweep %d phase %d)\n", f.Event, f.AtSweep, f.AtPhase)
+				}
+			}()
+		}
 	case *distributed:
 		mode = "distributed agents (in-memory bus)"
 		var stats transport.Stats
@@ -170,6 +200,16 @@ func run(args []string) error {
 	for n := 0; n < inst.N; n++ {
 		fmt.Printf("SBS %d caches %v (load %.1f / %.0f)\n",
 			n, res.Solution.Caching.Contents(n), res.Solution.Routing.Load(inst, n), inst.Bandwidth[n])
+	}
+	if total := res.TotalFaults(); res.Faults != nil && total != (core.SBSFaultStats{}) {
+		fmt.Println("fault accounting (BS view):")
+		for n, f := range res.Faults {
+			if f == (core.SBSFaultStats{}) {
+				continue
+			}
+			fmt.Printf("  SBS %d: misses=%d retries=%d malformed=%d quarantines=%d skipped-phases=%d failed-probes=%d\n",
+				n, f.Misses, f.Retries, f.Malformed, f.QuarantineSpans, f.SkippedPhases, f.FailedProbes)
+		}
 	}
 	if *epsilon > 0 {
 		fmt.Printf("\n%s\n", acct.String())

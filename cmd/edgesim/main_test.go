@@ -29,6 +29,19 @@ func TestRunDistributed(t *testing.T) {
 	}
 }
 
+func TestRunChaos(t *testing.T) {
+	args := smallArgs("-chaos", "seed=3,dup=0.5,crash=1@1+2", "-phase-timeout", "500ms")
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(smallArgs("-chaos", "drop=oops")); err == nil {
+		t.Error("bad chaos spec: want error")
+	}
+	if err := run(smallArgs("-chaos", "crash=99@1")); err == nil {
+		t.Error("out-of-range chaos target: want error")
+	}
+}
+
 func TestRunWithRestarts(t *testing.T) {
 	if err := run(smallArgs("-restarts", "2")); err != nil {
 		t.Fatal(err)

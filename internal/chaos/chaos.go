@@ -1,0 +1,155 @@
+// Package chaos executes deterministic, seed-reproducible fault schedules
+// against the distributed protocol of internal/sim — the empirical
+// counterpart of the paper's Theorem 2 convergence claim for an
+// unreliable multi-operator network.
+//
+// A Schedule is a list of events keyed on protocol progress (sweep and
+// phase as announced by the BS), not on wall-clock time, so the same
+// schedule replays identically across machines and -race runs: crash SBS
+// n at sweep s, restart it later, partition its link for d phases, or
+// open a drop/dup/reorder/delay window on the links. Run wires the agents
+// over an in-memory hub with a controllable fault layer and drives the BS
+// to completion, reporting what fired and what the protocol observed.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"edgecache/internal/transport"
+)
+
+// Op enumerates the fault operations a schedule can inject.
+type Op int
+
+// Fault operations.
+const (
+	// OpCrash kills the SBS agent and unregisters its endpoint: sends to
+	// it fail, its phases time out until quarantined.
+	OpCrash Op = iota + 1
+	// OpRestart registers a fresh endpoint under the same name and starts
+	// a new agent — the rejoin path of the protocol.
+	OpRestart
+	// OpPartition cuts the SBS's link in both directions (messages are
+	// silently discarded); the agent stays alive. Phases > 0 schedules
+	// the matching heal automatically that many phases later.
+	OpPartition
+	// OpHeal restores a partitioned link.
+	OpHeal
+	// OpLinkFaults replaces the drop/dup/reorder/delay configuration of
+	// the SBS's link (SBS == -1 targets every link including the BS's).
+	OpLinkFaults
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpCrash:
+		return "crash"
+	case OpRestart:
+		return "restart"
+	case OpPartition:
+		return "partition"
+	case OpHeal:
+		return "heal"
+	case OpLinkFaults:
+		return "link-faults"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Event is one scheduled fault. It fires when the BS first announces a
+// phase at or after (Sweep, Phase) in lexicographic protocol order.
+type Event struct {
+	// Sweep and Phase locate the trigger point in protocol time.
+	Sweep, Phase int
+	// SBS is the target SBS index; -1 is allowed only for OpLinkFaults
+	// and means every link (including the BS's outbound link).
+	SBS int
+	// Op selects the fault operation.
+	Op Op
+	// Phases, for OpPartition, auto-schedules the heal that many phases
+	// after the cut (0 means the partition lasts until an explicit
+	// OpHeal, or forever).
+	Phases int
+	// Faults is the link configuration installed by OpLinkFaults. Its
+	// Seed field is ignored — the runner derives per-link seeds from
+	// Schedule.Seed so runs are reproducible.
+	Faults transport.FaultConfig
+}
+
+// String renders the event for logs and reports.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s sbs=%d @ sweep %d phase %d", e.Op, e.SBS, e.Sweep, e.Phase)
+	if e.Op == OpPartition && e.Phases > 0 {
+		s += fmt.Sprintf(" for %d phases", e.Phases)
+	}
+	return s
+}
+
+// Schedule is a deterministic fault plan for one protocol run.
+type Schedule struct {
+	// Seed drives every random choice (link fault draws); the schedule
+	// itself is deterministic in protocol time.
+	Seed int64
+	// Links is the baseline fault configuration applied to every link
+	// from the start of the run (its Seed field is ignored).
+	Links transport.FaultConfig
+	// Events are the scheduled faults; order does not matter, the runner
+	// sorts them by trigger point.
+	Events []Event
+}
+
+// Validate checks the schedule against the number of SBSs.
+func (s Schedule) Validate(n int) error {
+	if err := s.Links.Validate(); err != nil {
+		return fmt.Errorf("chaos: baseline links: %w", err)
+	}
+	for i, ev := range s.Events {
+		if ev.Sweep < 0 || ev.Phase < 0 || ev.Phase >= n {
+			return fmt.Errorf("chaos: event %d (%s): trigger sweep %d phase %d out of range (N=%d)",
+				i, ev, ev.Sweep, ev.Phase, n)
+		}
+		switch ev.Op {
+		case OpCrash, OpRestart, OpPartition, OpHeal:
+			if ev.SBS < 0 || ev.SBS >= n {
+				return fmt.Errorf("chaos: event %d (%s): SBS %d out of range (N=%d)", i, ev, ev.SBS, n)
+			}
+		case OpLinkFaults:
+			if ev.SBS < -1 || ev.SBS >= n {
+				return fmt.Errorf("chaos: event %d (%s): SBS %d out of range (N=%d, -1 = all)", i, ev, ev.SBS, n)
+			}
+			if err := ev.Faults.Validate(); err != nil {
+				return fmt.Errorf("chaos: event %d (%s): %w", i, ev, err)
+			}
+		default:
+			return fmt.Errorf("chaos: event %d: unknown op %v", i, ev.Op)
+		}
+		if ev.Op == OpPartition && ev.Phases < 0 {
+			return fmt.Errorf("chaos: event %d (%s): negative partition length", i, ev)
+		}
+	}
+	return nil
+}
+
+// sortedEvents returns the events ordered by trigger point (stable, so
+// same-trigger events keep their schedule order).
+func (s Schedule) sortedEvents() []Event {
+	out := make([]Event, len(s.Events))
+	copy(out, s.Events)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Sweep != out[j].Sweep {
+			return out[i].Sweep < out[j].Sweep
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// advance returns the protocol point d phases after (sweep, phase) with n
+// phases per sweep.
+func advance(sweep, phase, d, n int) (int, int) {
+	idx := sweep*n + phase + d
+	return idx / n, idx % n
+}

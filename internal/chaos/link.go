@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"context"
+	"sync"
+
+	"edgecache/internal/transport"
+)
+
+// link is a controllable network attachment: a transport endpoint whose
+// fault configuration can be swapped mid-run and whose traffic can be cut
+// entirely (partition). The zero fault config passes messages through
+// untouched.
+type link struct {
+	inner transport.Endpoint
+
+	mu     sync.Mutex
+	faulty *transport.FaultyEndpoint // nil when the config is fault-free
+	cut    bool
+}
+
+var _ transport.Endpoint = (*link)(nil)
+
+// newLink wraps inner with the given baseline faults. seed derives the
+// link's private randomness.
+func newLink(inner transport.Endpoint, cfg transport.FaultConfig, seed int64) (*link, error) {
+	l := &link{inner: inner}
+	if err := l.setFaults(cfg, seed); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// setFaults replaces the link's fault configuration. A message held for
+// reordering by the previous configuration is dropped — the swap is
+// itself a network event.
+func (l *link) setFaults(cfg transport.FaultConfig, seed int64) error {
+	var faulty *transport.FaultyEndpoint
+	if cfg.DropProb > 0 || cfg.DupProb > 0 || cfg.ReorderProb > 0 || cfg.MaxDelay > 0 {
+		cfg.Seed = seed
+		var err error
+		faulty, err = transport.NewFaultyEndpoint(l.inner, cfg)
+		if err != nil {
+			return err
+		}
+	} else if err := cfg.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.faulty = faulty
+	l.mu.Unlock()
+	return nil
+}
+
+// setCut opens or closes the partition gate.
+func (l *link) setCut(cut bool) {
+	l.mu.Lock()
+	l.cut = cut
+	l.mu.Unlock()
+}
+
+// Name implements transport.Endpoint.
+func (l *link) Name() string { return l.inner.Name() }
+
+// Send implements transport.Endpoint: partitioned links discard silently,
+// otherwise the current fault configuration applies.
+func (l *link) Send(ctx context.Context, to string, m transport.Message) error {
+	l.mu.Lock()
+	cut, faulty := l.cut, l.faulty
+	l.mu.Unlock()
+	if cut {
+		return nil
+	}
+	if faulty != nil {
+		return faulty.Send(ctx, to, m)
+	}
+	return l.inner.Send(ctx, to, m)
+}
+
+// Recv implements transport.Endpoint: messages that arrive while the link
+// is cut are discarded (they were in flight across the partition).
+func (l *link) Recv(ctx context.Context) (transport.Message, error) {
+	for {
+		m, err := l.inner.Recv(ctx)
+		if err != nil {
+			return m, err
+		}
+		l.mu.Lock()
+		cut := l.cut
+		l.mu.Unlock()
+		if !cut {
+			return m, nil
+		}
+	}
+}
+
+// Close implements transport.Endpoint.
+func (l *link) Close() error { return l.inner.Close() }

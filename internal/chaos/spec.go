@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec builds a Schedule from a compact comma-separated spec string,
+// the format accepted by edgesim's -chaos flag:
+//
+//	seed=N          RNG seed for all link fault draws (default 1)
+//	drop=P          baseline per-message drop probability on every link
+//	dup=P           baseline duplication probability
+//	reorder=P       baseline adjacent-swap reorder probability
+//	delay=DUR       baseline max random extra delivery delay (e.g. 5ms)
+//	crash=S@W[+K]   crash SBS S at the start of sweep W; with +K, restart
+//	                it K sweeps later
+//	partition=S@W[+D]  cut SBS S's link at sweep W; with +D, heal it D
+//	                   phases later (otherwise the cut is permanent)
+//
+// Example: "seed=7,drop=0.3,crash=1@2+3" drops 30% of all traffic and
+// crashes SBS 1 for sweeps 2..4.
+func ParseSpec(spec string) (Schedule, error) {
+	s := Schedule{Seed: 1}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return Schedule{}, fmt.Errorf("chaos: %q: want key=value", item)
+		}
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			s.Links.DropProb, err = parseProb(val)
+		case "dup":
+			s.Links.DupProb, err = parseProb(val)
+		case "reorder":
+			s.Links.ReorderProb, err = parseProb(val)
+		case "delay":
+			s.Links.MaxDelay, err = time.ParseDuration(val)
+		case "crash":
+			var sbs, sweep, dur int
+			sbs, sweep, dur, err = parseTarget(val)
+			if err != nil {
+				break
+			}
+			s.Events = append(s.Events, Event{Sweep: sweep, SBS: sbs, Op: OpCrash})
+			if dur > 0 {
+				s.Events = append(s.Events, Event{Sweep: sweep + dur, SBS: sbs, Op: OpRestart})
+			}
+		case "partition":
+			var sbs, sweep, dur int
+			sbs, sweep, dur, err = parseTarget(val)
+			if err != nil {
+				break
+			}
+			s.Events = append(s.Events, Event{Sweep: sweep, SBS: sbs, Op: OpPartition, Phases: dur})
+		default:
+			return Schedule{}, fmt.Errorf("chaos: unknown directive %q", key)
+		}
+		if err != nil {
+			return Schedule{}, fmt.Errorf("chaos: %q: %w", item, err)
+		}
+	}
+	return s, nil
+}
+
+// parseProb parses a probability in [0, 1].
+func parseProb(val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0, 1]", p)
+	}
+	return p, nil
+}
+
+// parseTarget parses "SBS@SWEEP" or "SBS@SWEEP+DUR".
+func parseTarget(val string) (sbs, sweep, dur int, err error) {
+	target, at, ok := strings.Cut(val, "@")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("want SBS@SWEEP[+DUR], got %q", val)
+	}
+	if sbs, err = strconv.Atoi(target); err != nil {
+		return 0, 0, 0, err
+	}
+	when, tail, hasDur := strings.Cut(at, "+")
+	if sweep, err = strconv.Atoi(when); err != nil {
+		return 0, 0, 0, err
+	}
+	if hasDur {
+		if dur, err = strconv.Atoi(tail); err != nil {
+			return 0, 0, 0, err
+		}
+		if dur <= 0 {
+			return 0, 0, 0, fmt.Errorf("duration must be positive, got %d", dur)
+		}
+	}
+	return sbs, sweep, dur, nil
+}

@@ -173,6 +173,48 @@ type RunResult struct {
 	// the γ-criterion stopped the run (as opposed to the sweep budget).
 	Sweeps    int
 	Converged bool
+	// Faults holds the per-SBS fault accounting of a distributed run
+	// (one entry per SBS). It is nil for in-process runs, which have no
+	// network to fail.
+	Faults []SBSFaultStats
+}
+
+// SBSFaultStats is the BS-observed fault record of one SBS agent over a
+// distributed run. The in-process Coordinator never populates it; the sim
+// BS agent does, and the chaos tests assert it against the injected fault
+// schedule.
+type SBSFaultStats struct {
+	// Misses counts phases whose upload never arrived within the full
+	// PhaseTimeout window (each one stalls the sweep by that timeout).
+	Misses int
+	// Retries counts MsgPhaseStart retransmissions within phase windows.
+	Retries int
+	// Malformed counts uploads that arrived but failed validation
+	// (undecodable payload or wrong shapes) and were discarded.
+	Malformed int
+	// QuarantineSpans counts entries into quarantine (including
+	// re-entries after a failed rejoin probe).
+	QuarantineSpans int
+	// SkippedPhases counts phases skipped outright while quarantined —
+	// sweeps that did NOT burn a PhaseTimeout on a dead SBS.
+	SkippedPhases int
+	// FailedProbes counts cheap rejoin probes that went unanswered (each
+	// costs only ProbeTimeout, not PhaseTimeout).
+	FailedProbes int
+}
+
+// TotalFaults sums the per-SBS fault stats into one record.
+func (r *RunResult) TotalFaults() SBSFaultStats {
+	var t SBSFaultStats
+	for _, f := range r.Faults {
+		t.Misses += f.Misses
+		t.Retries += f.Retries
+		t.Malformed += f.Malformed
+		t.QuarantineSpans += f.QuarantineSpans
+		t.SkippedPhases += f.SkippedPhases
+		t.FailedProbes += f.FailedProbes
+	}
+	return t
 }
 
 // Coordinator runs Algorithm 1 in-process: it plays both the BS role

@@ -37,23 +37,34 @@ func RunInmemWithStats(ctx context.Context, inst *model.Instance, cfg BSConfig, 
 	if err != nil {
 		return nil, transport.Stats{}, err
 	}
-	bsEp := transport.NewCountingEndpoint(rawBsEp)
+	// The reliability layer (send retries + sequence-number dedup) is on by
+	// default: with no faults it is invisible — the equivalence tests assert
+	// the run stays bit-for-bit identical to core.Coordinator.
+	relBsEp, err := transport.NewReliableEndpoint(rawBsEp, transport.RetryPolicy{})
+	if err != nil {
+		return nil, transport.Stats{}, err
+	}
+	bsEp := transport.NewCountingEndpoint(relBsEp)
 	defer bsEp.Close()
 
 	sbsNames := make([]string, inst.N)
 	agents := make([]*SBSAgent, inst.N)
 	for n := 0; n < inst.N; n++ {
 		sbsNames[n] = fmt.Sprintf("sbs-%d", n)
-		ep, err := hub.Register(sbsNames[n], 4)
+		ep, err := hub.Register(sbsNames[n], 8)
 		if err != nil {
 			return nil, transport.Stats{}, err
 		}
 		defer ep.Close()
+		relEp, err := transport.NewReliableEndpoint(ep, transport.RetryPolicy{Seed: int64(n) + 1})
+		if err != nil {
+			return nil, transport.Stats{}, err
+		}
 		var privacy *core.PrivacyConfig
 		if privacyFor != nil {
 			privacy = privacyFor(n)
 		}
-		agent, err := NewSBSAgent(inst, n, sub, privacy, ep, bsName)
+		agent, err := NewSBSAgent(inst, n, sub, privacy, relEp, bsName)
 		if err != nil {
 			return nil, transport.Stats{}, err
 		}

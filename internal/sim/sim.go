@@ -9,9 +9,15 @@
 //	BS  → SBS n: MsgPhaseStart{Sweep, Phase, AggregateAnnounce{y_{-n}}}
 //	SBS n → BS:  MsgPolicyUpload{Sweep, Phase, PolicyUpload{x_n, ŷ_n}}
 //
-// and a final MsgDone broadcast. The BS tolerates SBS failures: if an
-// upload does not arrive within PhaseTimeout, the SBS's previous policy is
-// kept and the sweep continues (the SBS can rejoin in a later sweep).
+// and a final MsgDone broadcast. The BS tolerates SBS failures at three
+// levels: the announce is retransmitted within the phase window
+// (AnnounceRetries), a phase whose upload never arrives keeps the SBS's
+// previous policy, and an SBS that misses QuarantineAfter consecutive
+// phases is quarantined — its phases are skipped for QuarantineSweeps
+// sweeps and a cheap ProbeTimeout-bounded rejoin probe (instead of a full
+// PhaseTimeout wait) decides when it is healthy again. Per-SBS fault
+// accounting is returned on core.RunResult.Faults and every anomaly is
+// observable through an EventHook.
 //
 // With privacy disabled the protocol run is bit-for-bit equivalent to the
 // in-process core.Coordinator; the integration tests assert this.
@@ -36,6 +42,27 @@ type BSConfig struct {
 	MaxSweeps int
 	// PhaseTimeout bounds the wait for one SBS upload. 0 means 30s.
 	PhaseTimeout time.Duration
+	// AnnounceRetries is how many times MsgPhaseStart is retransmitted
+	// within one phase window (the window splits into AnnounceRetries+1
+	// equal sub-windows, re-announcing at each boundary). Lost announces
+	// and lost uploads are both recovered this way. 0 means 2; negative
+	// disables retransmission.
+	AnnounceRetries int
+	// QuarantineAfter is the number of consecutive full-window misses
+	// before an SBS is quarantined. 0 means 2; negative disables
+	// quarantine (every miss burns a full PhaseTimeout, the pre-fault-
+	// tolerance behaviour).
+	QuarantineAfter int
+	// QuarantineSweeps is how many sweeps a quarantined SBS's phases are
+	// skipped outright before a cheap rejoin probe is sent. 0 means 3.
+	QuarantineSweeps int
+	// ProbeTimeout bounds the wait for a rejoin-probe reply. 0 means
+	// PhaseTimeout/8.
+	ProbeTimeout time.Duration
+	// OnEvent, when non-nil, observes protocol anomalies and
+	// fault-handling actions (see EventKind). Must be fast and non-nil
+	// safe across goroutines.
+	OnEvent EventHook
 }
 
 func (c BSConfig) withDefaults() BSConfig {
@@ -48,7 +75,37 @@ func (c BSConfig) withDefaults() BSConfig {
 	if c.PhaseTimeout <= 0 {
 		c.PhaseTimeout = 30 * time.Second
 	}
+	if c.AnnounceRetries == 0 {
+		c.AnnounceRetries = 2
+	} else if c.AnnounceRetries < 0 {
+		c.AnnounceRetries = 0
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 2
+	}
+	if c.QuarantineSweeps <= 0 {
+		c.QuarantineSweeps = 3
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.PhaseTimeout / 8
+	}
 	return c
+}
+
+// sbsHealth is the BS's per-SBS liveness record.
+type sbsHealth struct {
+	// consecMisses counts full-window misses since the last good upload.
+	consecMisses int
+	// quarantined marks the SBS as skipped; probeSweep is the sweep at
+	// which the next rejoin probe goes out.
+	quarantined bool
+	probeSweep  int
+	// holdConv defers the γ-convergence check while this SBS is freshly
+	// quarantined: its policy is frozen, so the cost plateaus immediately
+	// and the criterion would fire before a transient outage can heal.
+	// The hold is released by the first rejoin probe of the outage —
+	// answered (rejoin) or not (persistently dead, stop waiting for it).
+	holdConv bool
 }
 
 // BSAgent is the base-station side of the protocol. The BS knows the
@@ -60,6 +117,7 @@ type BSAgent struct {
 	cfg      BSConfig
 	ep       transport.Endpoint
 	sbsNames []string
+	health   []sbsHealth
 }
 
 // NewBSAgent builds the BS agent. sbsNames[n] is the endpoint name of
@@ -74,7 +132,15 @@ func NewBSAgent(inst *model.Instance, cfg BSConfig, ep transport.Endpoint, sbsNa
 	if len(sbsNames) != inst.N {
 		return nil, fmt.Errorf("sim: %d SBS names for N=%d SBSs", len(sbsNames), inst.N)
 	}
-	return &BSAgent{inst: inst, cfg: cfg.withDefaults(), ep: ep, sbsNames: sbsNames}, nil
+	return &BSAgent{inst: inst, cfg: cfg.withDefaults(), ep: ep, sbsNames: sbsNames,
+		health: make([]sbsHealth, inst.N)}, nil
+}
+
+// event reports a protocol event to the configured hook, if any.
+func (b *BSAgent) event(kind EventKind, sbs, sweep, phase int, err error) {
+	if b.cfg.OnEvent != nil {
+		b.cfg.OnEvent(Event{Kind: kind, SBS: sbs, Sweep: sweep, Phase: phase, Err: err})
+	}
 }
 
 // Run drives the full protocol and returns the converged result. SBS
@@ -91,26 +157,83 @@ func (b *BSAgent) Run(ctx context.Context) (*core.RunResult, error) {
 	tracker := model.NewAggregateTracker(inst)
 	yMinus := inst.NewUFMat()
 
-	res := &core.RunResult{}
+	res := &core.RunResult{Faults: make([]core.SBSFaultStats, inst.N)}
 	var best *model.Solution
 	prevCost := math.Inf(1)
 	for sweep := 0; sweep < b.cfg.MaxSweeps; sweep++ {
+		// sweepMissed records whether a live (non-quarantined) SBS missed
+		// its phase this sweep; a frozen policy makes the cost spuriously
+		// flat, so such sweeps must not satisfy the γ-criterion.
+		sweepMissed := false
 		for n := 0; n < inst.N; n++ {
+			h := &b.health[n]
+			fs := &res.Faults[n]
+
+			// Quarantined SBSs are skipped outright — no announce, no
+			// PhaseTimeout burned — until their probe sweep comes up;
+			// then one cheap probe (ProbeTimeout) decides rejoin vs
+			// another quarantine span.
+			probing := false
+			timeout := b.cfg.PhaseTimeout
+			if h.quarantined {
+				if sweep < h.probeSweep {
+					fs.SkippedPhases++
+					continue
+				}
+				probing = true
+				timeout = b.cfg.ProbeTimeout
+			}
+
 			tracker.YMinusInto(inst, y, n, yMinus)
-			if err := b.announcePhase(ctx, sweep, n, yMinus); err != nil {
+			announce, err := buildAnnounce(sweep, n, yMinus)
+			if err != nil {
 				return nil, err
 			}
-			upload, ok, err := b.awaitUpload(ctx, sweep, n)
+			b.sendAnnounce(ctx, sweep, n, announce)
+			upload, ok, err := b.awaitUpload(ctx, sweep, n, timeout, fs, announce)
 			if err != nil {
 				return nil, err
 			}
 			if !ok {
-				continue // SBS unreachable this phase: keep its old policy
+				// SBS unreachable this phase: keep its old policy.
+				if probing {
+					fs.FailedProbes++
+					fs.QuarantineSpans++
+					h.probeSweep = sweep + b.cfg.QuarantineSweeps + 1
+					// The first probe of the outage went unanswered: the
+					// SBS is treated as persistently dead and no longer
+					// delays convergence.
+					h.holdConv = false
+					b.event(EventProbeFailed, n, sweep, n, nil)
+					b.event(EventQuarantine, n, sweep, n, nil)
+				} else {
+					fs.Misses++
+					h.consecMisses++
+					sweepMissed = true
+					b.event(EventUploadTimeout, n, sweep, n, nil)
+					if b.cfg.QuarantineAfter > 0 && h.consecMisses >= b.cfg.QuarantineAfter {
+						h.quarantined = true
+						h.consecMisses = 0
+						fs.QuarantineSpans++
+						h.probeSweep = sweep + b.cfg.QuarantineSweeps + 1
+						h.holdConv = true
+						b.event(EventQuarantine, n, sweep, n, nil)
+					}
+				}
+				continue
 			}
+			if h.quarantined {
+				h.quarantined = false
+				h.holdConv = false
+				b.event(EventRejoin, n, sweep, n, nil)
+			}
+			h.consecMisses = 0
 			if err := b.applyUpload(x, y, tracker, n, yMinus, upload); err != nil {
 				// A malformed upload is treated like a missing one; the
 				// previous policy stays in force (and the aggregate is left
 				// untouched, so the tracker stays consistent with y).
+				fs.Malformed++
+				b.event(EventMalformedUpload, n, sweep, n, err)
 				continue
 			}
 		}
@@ -122,7 +245,15 @@ func (b *BSAgent) Run(ctx context.Context) (*core.RunResult, error) {
 		if best == nil || cost.Total < best.Cost.Total {
 			best = &model.Solution{Caching: x.Clone(), Routing: y.Clone(), Cost: cost}
 		}
-		if cost.Total > 0 && math.Abs(prevCost-cost.Total)/cost.Total <= b.cfg.Gamma {
+		// The γ-criterion is deferred on sweeps where a live SBS missed
+		// and while any freshly-quarantined SBS awaits its first rejoin
+		// probe — in both cases the cost is flat only because policies are
+		// frozen, not because the algorithm has converged.
+		hold := sweepMissed
+		for n := range b.health {
+			hold = hold || b.health[n].holdConv
+		}
+		if !hold && cost.Total > 0 && math.Abs(prevCost-cost.Total)/cost.Total <= b.cfg.Gamma {
 			res.Converged = true
 			prevCost = cost.Total
 			break
@@ -138,32 +269,77 @@ func (b *BSAgent) Run(ctx context.Context) (*core.RunResult, error) {
 	return res, nil
 }
 
-// announcePhase sends y_{-n} to SBS n. The wire schema stays nested, so
-// the flat matrix is materialized at this boundary.
-func (b *BSAgent) announcePhase(ctx context.Context, sweep, n int, yMinus model.Mat) error {
+// buildAnnounce renders the phase-start message carrying y_{-n}. The wire
+// schema stays nested, so the flat matrix is materialized at this boundary.
+func buildAnnounce(sweep, n int, yMinus model.Mat) (transport.Message, error) {
 	payload, err := transport.EncodePayload(transport.AggregateAnnounce{
 		YMinus: yMinus.Rows(),
 	})
 	if err != nil {
-		return err
+		return transport.Message{}, err
 	}
-	msg := transport.Message{Type: transport.MsgPhaseStart, Sweep: sweep, Phase: n, Payload: payload}
-	if err := b.ep.Send(ctx, b.sbsNames[n], msg); err != nil {
-		// Unreachable SBS: not fatal, the await below will time out.
-		return nil
-	}
-	return nil
+	return transport.Message{Type: transport.MsgPhaseStart, Sweep: sweep, Phase: n, Payload: payload}, nil
 }
 
-// awaitUpload waits for SBS n's upload for (sweep, n), discarding stale or
-// duplicated messages. ok=false signals a timeout.
-func (b *BSAgent) awaitUpload(ctx context.Context, sweep, n int) (transport.PolicyUpload, bool, error) {
-	deadline, cancel := context.WithTimeout(ctx, b.cfg.PhaseTimeout)
+// sendAnnounce delivers a phase-start to SBS n. Send failures are not
+// fatal (the await will time out and the health machinery takes over),
+// but they are surfaced to the event hook.
+func (b *BSAgent) sendAnnounce(ctx context.Context, sweep, n int, msg transport.Message) {
+	if err := b.ep.Send(ctx, b.sbsNames[n], msg); err != nil {
+		b.event(EventSendFailed, n, sweep, n, err)
+	}
+}
+
+// awaitUpload waits up to timeout for SBS n's upload for (sweep, n),
+// discarding stale or duplicated messages. The window is split into
+// AnnounceRetries+1 sub-windows and the announce message is
+// retransmitted at each boundary, so a single lost announce or upload
+// costs one sub-window, not the whole phase. The retransmission is
+// byte-identical (y_{-n} cannot change within a phase) and the SBS's
+// solver is deterministic, so a double-delivered announce is harmless.
+// ok=false signals a timeout.
+func (b *BSAgent) awaitUpload(ctx context.Context, sweep, n int, timeout time.Duration,
+	fs *core.SBSFaultStats, announce transport.Message) (transport.PolicyUpload, bool, error) {
+	// Probes retransmit like regular phases: a probe's cost is its
+	// (short) timeout, not its sends, and on lossy links a single-shot
+	// probe would fail even against a healthy rejoined SBS.
+	retries := b.cfg.AnnounceRetries
+	sub := timeout / time.Duration(retries+1)
+	overall, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
+	for attempt := 0; ; attempt++ {
+		waitCtx, waitCancel := overall, context.CancelFunc(func() {})
+		if attempt < retries {
+			waitCtx, waitCancel = context.WithTimeout(overall, sub)
+		}
+		upload, ok, err := b.recvUpload(waitCtx, sweep, n, fs)
+		waitCancel()
+		if err != nil || ok {
+			return upload, ok, err
+		}
+		// Sub-window expired. Give up when the full window (or the parent
+		// context) is spent; otherwise retransmit the announcement.
+		if ctx.Err() != nil {
+			return transport.PolicyUpload{}, false, ctx.Err()
+		}
+		if overall.Err() != nil {
+			return transport.PolicyUpload{}, false, nil
+		}
+		fs.Retries++
+		b.event(EventAnnounceRetry, n, sweep, n, nil)
+		b.sendAnnounce(ctx, sweep, n, announce)
+	}
+}
+
+// recvUpload drains the inbox until SBS n's upload for (sweep, n) arrives
+// or the context expires. A deadline returns ok=false with a nil error;
+// any other receive failure is fatal.
+func (b *BSAgent) recvUpload(ctx context.Context, sweep, n int,
+	fs *core.SBSFaultStats) (transport.PolicyUpload, bool, error) {
 	for {
-		msg, err := b.ep.Recv(deadline)
+		msg, err := b.ep.Recv(ctx)
 		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil {
 				return transport.PolicyUpload{}, false, nil
 			}
 			return transport.PolicyUpload{}, false, err
@@ -174,11 +350,16 @@ func (b *BSAgent) awaitUpload(ctx context.Context, sweep, n int) (transport.Poli
 		}
 		var upload transport.PolicyUpload
 		if err := transport.DecodePayload(msg.Payload, &upload); err != nil {
-			return transport.PolicyUpload{}, false, nil // treat as missing
+			// Undecodable upload: count it and keep waiting — a
+			// retransmission may still deliver a good copy in-window.
+			fs.Malformed++
+			b.event(EventBadUpload, n, sweep, n, err)
+			continue
 		}
 		return upload, true, nil
 	}
 }
+
 
 // applyUpload validates shapes and installs SBS n's policies, advancing
 // the BS's running aggregate from the yMinus computed for this phase.
@@ -212,10 +393,12 @@ func (b *BSAgent) broadcastDone(ctx context.Context) {
 // announcements, solves its sub-problem P_n, optionally applies LPPM to the
 // routing before it leaves the premises, and uploads the result.
 type SBSAgent struct {
+	n      int
 	sub    *core.Subproblem
 	lppm   *core.LPPM
 	ep     transport.Endpoint
 	bsName string
+	hook   EventHook
 }
 
 // NewSBSAgent builds the agent for SBS n. privacy may be nil. The SBS uses
@@ -233,7 +416,7 @@ func NewSBSAgent(inst *model.Instance, n int, sub core.SubproblemConfig,
 	if err != nil {
 		return nil, err
 	}
-	a := &SBSAgent{sub: solver, ep: ep, bsName: bsName}
+	a := &SBSAgent{n: n, sub: solver, ep: ep, bsName: bsName}
 	if privacy != nil {
 		lppm, err := core.NewLPPM(*privacy)
 		if err != nil {
@@ -242,6 +425,17 @@ func NewSBSAgent(inst *model.Instance, n int, sub core.SubproblemConfig,
 		a.lppm = lppm
 	}
 	return a, nil
+}
+
+// SetEventHook installs an observer for protocol anomalies (malformed or
+// unsolvable announcements, failed upload sends). Call before Run.
+func (a *SBSAgent) SetEventHook(h EventHook) { a.hook = h }
+
+// event reports a protocol event to the configured hook, if any.
+func (a *SBSAgent) event(kind EventKind, sweep, phase int, err error) {
+	if a.hook != nil {
+		a.hook(Event{Kind: kind, SBS: a.n, Sweep: sweep, Phase: phase, Err: err})
+	}
 }
 
 // Run serves phase announcements until MsgDone or context cancellation.
@@ -271,15 +465,21 @@ func (a *SBSAgent) Run(ctx context.Context) error {
 func (a *SBSAgent) handlePhase(ctx context.Context, msg transport.Message) error {
 	var ann transport.AggregateAnnounce
 	if err := transport.DecodePayload(msg.Payload, &ann); err != nil {
-		return nil // malformed announcement: skip; the BS will time out
+		// Malformed announcement: skip; the BS will retransmit or time out.
+		a.event(EventBadAnnounce, msg.Sweep, msg.Phase, err)
+		return nil
 	}
 	yMinus, err := model.MatFromRows(ann.YMinus)
 	if err != nil {
-		return nil // ragged announcement: skip; the BS will time out
+		// Ragged announcement: skip; the BS will retransmit or time out.
+		a.event(EventBadAnnounce, msg.Sweep, msg.Phase, err)
+		return nil
 	}
 	res, err := a.sub.Solve(yMinus)
 	if err != nil {
-		return nil // unsolvable announcement (bad shapes): skip
+		// Unsolvable announcement (bad shapes): skip.
+		a.event(EventUnsolvable, msg.Sweep, msg.Phase, err)
+		return nil
 	}
 	routing := res.Routing
 	if a.lppm != nil {
@@ -298,8 +498,11 @@ func (a *SBSAgent) handlePhase(ctx context.Context, msg transport.Message) error
 		Phase:   msg.Phase,
 		Payload: payload,
 	}
-	if err := a.ep.Send(ctx, a.bsName, reply); err != nil && ctx.Err() != nil {
-		return ctx.Err()
+	if err := a.ep.Send(ctx, a.bsName, reply); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		a.event(EventSendFailed, msg.Sweep, msg.Phase, err)
 	}
 	return nil
 }

@@ -143,6 +143,11 @@ type FaultConfig struct {
 	// DropProb and DupProb are per-Send probabilities of silently dropping
 	// or duplicating the message.
 	DropProb, DupProb float64
+	// ReorderProb is the per-Send probability of holding the message back
+	// and delivering it after the next one (a deterministic adjacent swap,
+	// unlike the emergent reordering of MaxDelay). A held message that is
+	// never followed by another Send is flushed on Close.
+	ReorderProb float64
 	// MaxDelay, when positive, sleeps a uniform random duration up to this
 	// bound before each delivery (reordering emerges from concurrency).
 	MaxDelay time.Duration
@@ -152,9 +157,10 @@ type FaultConfig struct {
 
 // Validate checks probability ranges.
 func (c FaultConfig) Validate() error {
-	if c.DropProb < 0 || c.DropProb > 1 || c.DupProb < 0 || c.DupProb > 1 {
-		return fmt.Errorf("transport: fault probabilities must be in [0,1], got drop=%v dup=%v",
-			c.DropProb, c.DupProb)
+	if c.DropProb < 0 || c.DropProb > 1 || c.DupProb < 0 || c.DupProb > 1 ||
+		c.ReorderProb < 0 || c.ReorderProb > 1 {
+		return fmt.Errorf("transport: fault probabilities must be in [0,1], got drop=%v dup=%v reorder=%v",
+			c.DropProb, c.DupProb, c.ReorderProb)
 	}
 	if c.MaxDelay < 0 {
 		return fmt.Errorf("transport: MaxDelay must be non-negative, got %v", c.MaxDelay)
@@ -162,14 +168,21 @@ func (c FaultConfig) Validate() error {
 	return nil
 }
 
-// FaultyEndpoint wraps an endpoint with message dropping, duplication and
-// delay on the send path. Receives pass through untouched.
+// FaultyEndpoint wraps an endpoint with message dropping, duplication,
+// reordering and delay on the send path. Receives pass through untouched.
 type FaultyEndpoint struct {
 	inner Endpoint
 	cfg   FaultConfig
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu   sync.Mutex
+	rng  *rand.Rand
+	held *heldMessage
+}
+
+// heldMessage is a send deferred by ReorderProb until the next Send.
+type heldMessage struct {
+	to string
+	m  Message
 }
 
 var _ Endpoint = (*FaultyEndpoint)(nil)
@@ -190,14 +203,28 @@ func (e *FaultyEndpoint) Send(ctx context.Context, to string, m Message) error {
 	e.mu.Lock()
 	drop := e.rng.Float64() < e.cfg.DropProb
 	dup := e.rng.Float64() < e.cfg.DupProb
+	reorder := e.rng.Float64() < e.cfg.ReorderProb
 	var delay time.Duration
 	if e.cfg.MaxDelay > 0 {
 		delay = time.Duration(e.rng.Int63n(int64(e.cfg.MaxDelay)))
 	}
+	if !drop && reorder && e.held == nil {
+		// Hold this message back; it goes out right after the next Send.
+		e.held = &heldMessage{to: to, m: m}
+		e.mu.Unlock()
+		return nil
+	}
+	released := e.held
+	e.held = nil
 	e.mu.Unlock()
 
 	if drop {
-		return nil // silently lost
+		// The current message is lost, but a previously held one still
+		// rides out (loss must not extend the reorder window).
+		if released != nil {
+			return e.inner.Send(ctx, released.to, released.m)
+		}
+		return nil
 	}
 	if delay > 0 {
 		timer := time.NewTimer(delay)
@@ -212,7 +239,12 @@ func (e *FaultyEndpoint) Send(ctx context.Context, to string, m Message) error {
 		return err
 	}
 	if dup {
-		return e.inner.Send(ctx, to, m)
+		if err := e.inner.Send(ctx, to, m); err != nil {
+			return err
+		}
+	}
+	if released != nil {
+		return e.inner.Send(ctx, released.to, released.m)
 	}
 	return nil
 }
@@ -220,5 +252,15 @@ func (e *FaultyEndpoint) Send(ctx context.Context, to string, m Message) error {
 // Recv implements Endpoint.
 func (e *FaultyEndpoint) Recv(ctx context.Context) (Message, error) { return e.inner.Recv(ctx) }
 
-// Close implements Endpoint.
-func (e *FaultyEndpoint) Close() error { return e.inner.Close() }
+// Close implements Endpoint, flushing a held reordered message so it is
+// delayed, not silently lost.
+func (e *FaultyEndpoint) Close() error {
+	e.mu.Lock()
+	released := e.held
+	e.held = nil
+	e.mu.Unlock()
+	if released != nil {
+		_ = e.inner.Send(context.Background(), released.to, released.m)
+	}
+	return e.inner.Close()
+}

@@ -1,0 +1,271 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy describes an exponential-backoff retry schedule with jitter.
+// The zero value asks for the defaults (4 attempts, 10ms base doubling up
+// to 1s, 20% jitter). It is shared by ReliableEndpoint (per-send retries)
+// and TCPEndpoint (redial-with-backoff on a dead cached connection).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// 0 means 4; 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry. 0 means 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. 0 means 1s.
+	MaxDelay time.Duration
+	// Multiplier is the per-retry growth factor. 0 means 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized: the actual
+	// wait is uniform in [d·(1−Jitter), d·(1+Jitter)]. 0 means 0.2;
+	// negative disables jitter (deterministic delays for tests).
+	Jitter float64
+	// Seed drives the jitter randomness (deterministic tests).
+	Seed int64
+}
+
+// Validate checks the policy ranges.
+func (p RetryPolicy) Validate() error {
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("transport: MaxAttempts must be non-negative, got %d", p.MaxAttempts)
+	}
+	if p.BaseDelay < 0 || p.MaxDelay < 0 {
+		return fmt.Errorf("transport: retry delays must be non-negative, got base=%v max=%v",
+			p.BaseDelay, p.MaxDelay)
+	}
+	if p.Multiplier < 0 {
+		return fmt.Errorf("transport: Multiplier must be non-negative, got %v", p.Multiplier)
+	}
+	if p.Jitter > 1 {
+		return fmt.Errorf("transport: Jitter must be at most 1, got %v", p.Jitter)
+	}
+	return nil
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// delay returns the jittered backoff before retry number retry (0-based).
+// Callers must hold whatever lock guards rng.
+func (p RetryPolicy) delay(retry int, rng *rand.Rand) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 0; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 - p.Jitter + 2*p.Jitter*rng.Float64()
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// sleep waits for the given duration or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ReliabilityStats is a snapshot of a ReliableEndpoint's counters.
+type ReliabilityStats struct {
+	// Sends counts Send calls; Retries counts extra attempts beyond the
+	// first; SendFailures counts Sends that exhausted every attempt.
+	Sends, Retries, SendFailures int64
+	// DupsDropped counts inbound messages discarded by sequence-number
+	// deduplication.
+	DupsDropped int64
+}
+
+// dedupWindowSize bounds the per-peer set of remembered sequence numbers.
+// The protocol is request/response with small in-flight counts, so a
+// window of 512 comfortably exceeds any realistic retry burst.
+const dedupWindowSize = 512
+
+// dedupWindow remembers the last dedupWindowSize sequence numbers from one
+// peer; membership is O(1) and eviction is FIFO.
+type dedupWindow struct {
+	seen  map[uint64]struct{}
+	order []uint64
+	next  int
+}
+
+func newDedupWindow() *dedupWindow {
+	return &dedupWindow{seen: make(map[uint64]struct{}), order: make([]uint64, 0, dedupWindowSize)}
+}
+
+// observe records seq and reports whether it was already present.
+func (w *dedupWindow) observe(seq uint64) bool {
+	if _, ok := w.seen[seq]; ok {
+		return true
+	}
+	if len(w.order) < dedupWindowSize {
+		w.order = append(w.order, seq)
+	} else {
+		delete(w.seen, w.order[w.next])
+		w.order[w.next] = seq
+		w.next = (w.next + 1) % dedupWindowSize
+	}
+	w.seen[seq] = struct{}{}
+	return false
+}
+
+// ReliableEndpoint wraps an Endpoint with per-send retries (exponential
+// backoff + jitter) and receiver-side sequence-number deduplication, so
+// retries compose safely with the at-most-once Endpoint contract: a
+// message duplicated by a retry (or by a faulty link) is delivered to the
+// application at most once. Messages from senders that do not stamp
+// sequence numbers (Seq == 0) pass through untouched.
+//
+// Send never retries on context cancellation or on ErrClosed/ErrUnknownPeer
+// (the peer set is static in this protocol, so an unknown name cannot
+// become known by waiting).
+type ReliableEndpoint struct {
+	inner  Endpoint
+	policy RetryPolicy
+
+	nextSeq atomic.Uint64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	seen  map[string]*dedupWindow
+	stats ReliabilityStats
+}
+
+var _ Endpoint = (*ReliableEndpoint)(nil)
+
+// NewReliableEndpoint wraps inner with the given retry policy (zero value
+// for defaults).
+func NewReliableEndpoint(inner Endpoint, policy RetryPolicy) (*ReliableEndpoint, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	policy = policy.withDefaults()
+	return &ReliableEndpoint{
+		inner:  inner,
+		policy: policy,
+		rng:    rand.New(rand.NewSource(policy.Seed)),
+		seen:   make(map[string]*dedupWindow),
+	}, nil
+}
+
+// Name implements Endpoint.
+func (e *ReliableEndpoint) Name() string { return e.inner.Name() }
+
+// AdvanceSeq skips the next n sequence numbers. A restarted sender that
+// reuses its peer name must advance past the range its previous
+// incarnation used, or receivers still holding those numbers in their
+// dedup window will discard its first messages as retry duplicates.
+func (e *ReliableEndpoint) AdvanceSeq(n uint64) { e.nextSeq.Add(n) }
+
+// Send implements Endpoint with retries. Each message gets a fresh
+// sequence number, so a deliberate re-send by the caller (e.g. a protocol
+// retransmission) is a distinct message, while the retries issued here
+// reuse the number and are deduplicated by the receiver.
+func (e *ReliableEndpoint) Send(ctx context.Context, to string, m Message) error {
+	if m.Seq == 0 {
+		m.Seq = e.nextSeq.Add(1)
+	}
+	e.mu.Lock()
+	e.stats.Sends++
+	e.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt < e.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			e.mu.Lock()
+			e.stats.Retries++
+			d := e.policy.delay(attempt-1, e.rng)
+			e.mu.Unlock()
+			if err := sleepCtx(ctx, d); err != nil {
+				return err
+			}
+		}
+		err := e.inner.Send(ctx, to, m)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || errors.Is(err, ErrClosed) || errors.Is(err, ErrUnknownPeer) {
+			break
+		}
+	}
+	e.mu.Lock()
+	e.stats.SendFailures++
+	e.mu.Unlock()
+	return lastErr
+}
+
+// Recv implements Endpoint, dropping sequence-number duplicates.
+func (e *ReliableEndpoint) Recv(ctx context.Context) (Message, error) {
+	for {
+		m, err := e.inner.Recv(ctx)
+		if err != nil {
+			return m, err
+		}
+		if m.Seq == 0 {
+			return m, nil
+		}
+		e.mu.Lock()
+		w, ok := e.seen[m.From]
+		if !ok {
+			w = newDedupWindow()
+			e.seen[m.From] = w
+		}
+		dup := w.observe(m.Seq)
+		if dup {
+			e.stats.DupsDropped++
+		}
+		e.mu.Unlock()
+		if !dup {
+			return m, nil
+		}
+	}
+}
+
+// Close implements Endpoint.
+func (e *ReliableEndpoint) Close() error { return e.inner.Close() }
+
+// Stats returns a snapshot of the reliability counters.
+func (e *ReliableEndpoint) Stats() ReliabilityStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}

@@ -1,0 +1,388 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyEndpoint fails the first failures Send calls, then succeeds by
+// delegating to an in-memory recorder.
+type flakyEndpoint struct {
+	mu       sync.Mutex
+	failures int
+	sent     []Message
+	closed   bool
+}
+
+func (f *flakyEndpoint) Name() string { return "flaky" }
+
+func (f *flakyEndpoint) Send(ctx context.Context, to string, m Message) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if f.failures > 0 {
+		f.failures--
+		return errors.New("transient network error")
+	}
+	m.To = to
+	f.sent = append(f.sent, m)
+	return nil
+}
+
+func (f *flakyEndpoint) Recv(ctx context.Context) (Message, error) {
+	return Message{}, errors.New("flaky: no recv")
+}
+
+func (f *flakyEndpoint) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+func (f *flakyEndpoint) sentCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.sent)
+}
+
+func TestRetryPolicyValidateAndDefaults(t *testing.T) {
+	for _, bad := range []RetryPolicy{
+		{MaxAttempts: -1},
+		{BaseDelay: -time.Second},
+		{MaxDelay: -1},
+		{Multiplier: -2},
+		{Jitter: 1.5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("policy %+v: want validation error", bad)
+		}
+	}
+	p := RetryPolicy{}.withDefaults()
+	if p.MaxAttempts != 4 || p.BaseDelay != 10*time.Millisecond || p.Multiplier != 2 {
+		t.Errorf("defaults = %+v", p)
+	}
+	// Negative jitter disables randomization: the schedule is exact.
+	d := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond,
+		Multiplier: 2, Jitter: -1}.withDefaults()
+	for i, want := range []time.Duration{10, 20, 35, 35} {
+		if got := d.delay(i, nil); got != want*time.Millisecond {
+			t.Errorf("delay(%d) = %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+}
+
+func TestReliableSendRetriesUntilSuccess(t *testing.T) {
+	inner := &flakyEndpoint{failures: 2}
+	ep, err := NewReliableEndpoint(inner, RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Send(testCtx(t), "b", Message{Type: MsgDone}); err != nil {
+		t.Fatalf("send after transient failures: %v", err)
+	}
+	if got := inner.sentCount(); got != 1 {
+		t.Errorf("delivered %d messages, want 1", got)
+	}
+	st := ep.Stats()
+	if st.Sends != 1 || st.Retries != 2 || st.SendFailures != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Retries reuse one sequence number, so the receiver can deduplicate.
+	if inner.sent[0].Seq == 0 {
+		t.Error("sent message has no sequence number")
+	}
+}
+
+func TestReliableSendExhaustsAttempts(t *testing.T) {
+	inner := &flakyEndpoint{failures: 100}
+	ep, err := NewReliableEndpoint(inner, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Send(testCtx(t), "b", Message{Type: MsgDone}); err == nil {
+		t.Fatal("want error after exhausting attempts")
+	}
+	st := ep.Stats()
+	if st.SendFailures != 1 || st.Retries != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReliableSendDoesNotRetryUnknownPeer(t *testing.T) {
+	hub := NewHub()
+	raw, err := hub.Register("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := NewReliableEndpoint(raw, RetryPolicy{MaxAttempts: 10, BaseDelay: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := ep.Send(testCtx(t), "ghost", Message{Type: MsgDone}); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+	if time.Since(start) > 40*time.Millisecond {
+		t.Error("unknown peer was retried with backoff")
+	}
+}
+
+func TestReliableSendRespectsContext(t *testing.T) {
+	inner := &flakyEndpoint{failures: 100}
+	ep, err := NewReliableEndpoint(inner, RetryPolicy{MaxAttempts: 100, BaseDelay: 20 * time.Millisecond, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- ep.Send(ctx, "b", Message{Type: MsgDone}) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled send returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send did not honor context cancellation")
+	}
+}
+
+func TestReliableRecvDeduplicates(t *testing.T) {
+	ctx := testCtx(t)
+	hub := NewHub()
+	rawA, err := hub.Register("a", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := hub.Register("b", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewReliableEndpoint(rawB, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a retry burst: the same sequence number arrives three times,
+	// then a new one, then an unsequenced message.
+	dup := Message{Type: MsgPolicyUpload, Seq: 7, Payload: []byte("x")}
+	for i := 0; i < 3; i++ {
+		if err := rawA.Send(ctx, "b", dup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rawA.Send(ctx, "b", Message{Type: MsgPolicyUpload, Seq: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rawA.Send(ctx, "b", Message{Type: MsgDone}); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for i := 0; i < 3; i++ {
+		m, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m.Seq)
+	}
+	if got[0] != 7 || got[1] != 8 || got[2] != 0 {
+		t.Errorf("received seqs %v, want [7 8 0]", got)
+	}
+	if st := b.Stats(); st.DupsDropped != 2 {
+		t.Errorf("DupsDropped = %d, want 2", st.DupsDropped)
+	}
+}
+
+func TestReliableEndToEndOverHub(t *testing.T) {
+	ctx := testCtx(t)
+	hub := NewHub()
+	rawA, err := hub.Register("a", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := hub.Register("b", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A duplicating link between two reliable endpoints: the injected
+	// duplicates carry the same sequence number and are filtered out.
+	faulty, err := NewFaultyEndpoint(rawA, FaultConfig{DupProb: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewReliableEndpoint(faulty, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewReliableEndpoint(rawB, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Send(ctx, "b", Message{Type: MsgPhaseStart, Sweep: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		m, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Sweep != i {
+			t.Fatalf("message %d has sweep %d (duplicate leaked)", i, m.Sweep)
+		}
+	}
+	// The duplicate of the final message is still queued (Recv returned on
+	// the unique copy), so exactly 4 duplicates have been dropped.
+	if st := b.Stats(); st.DupsDropped != 4 {
+		t.Errorf("DupsDropped = %d, want 4", st.DupsDropped)
+	}
+}
+
+func TestDedupWindowEviction(t *testing.T) {
+	w := newDedupWindow()
+	for seq := uint64(1); seq <= dedupWindowSize+10; seq++ {
+		if w.observe(seq) {
+			t.Fatalf("fresh seq %d reported as duplicate", seq)
+		}
+	}
+	// The oldest entries have been evicted and would be accepted again;
+	// recent ones are still remembered.
+	if w.observe(1) {
+		t.Error("evicted seq 1 still reported as duplicate")
+	}
+	if !w.observe(dedupWindowSize + 10) {
+		t.Error("recent seq not reported as duplicate")
+	}
+	if len(w.seen) > dedupWindowSize+1 {
+		t.Errorf("window grew to %d entries", len(w.seen))
+	}
+}
+
+// TestFaultyEndpointReorders: with ReorderProb=1 every message is held and
+// released after its successor — the adjacent-swap pattern 2,1,4,3 — which
+// is the fault class the BS's stale-discard logic must tolerate.
+func TestFaultyEndpointReorders(t *testing.T) {
+	ctx := testCtx(t)
+	hub := NewHub()
+	rawA, err := hub.Register("a", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hub.Register("b", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewFaultyEndpoint(rawA, FaultConfig{ReorderProb: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := a.Send(ctx, "b", Message{Type: MsgPhaseStart, Sweep: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int
+	for i := 0; i < 4; i++ {
+		m, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m.Sweep)
+	}
+	want := []int{2, 1, 4, 3}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("delivery order %v, want %v", got, want)
+	}
+}
+
+// TestFaultyEndpointReorderFlushOnClose: a held message is not lost when
+// the endpoint closes before the next send.
+func TestFaultyEndpointReorderFlushOnClose(t *testing.T) {
+	ctx := testCtx(t)
+	hub := NewHub()
+	rawA, err := hub.Register("a", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hub.Register("b", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewFaultyEndpoint(rawA, FaultConfig{ReorderProb: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(ctx, "b", Message{Type: MsgDone, Sweep: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sweep != 9 {
+		t.Errorf("flushed message sweep = %d, want 9", m.Sweep)
+	}
+}
+
+// TestFaultyEndpointReorderSeededDeterminism: the same seed produces the
+// same delivery order twice.
+func TestFaultyEndpointReorderSeededDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		ctx := testCtx(t)
+		hub := NewHub()
+		rawA, err := hub.Register("a", 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := hub.Register("b", 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewFaultyEndpoint(rawA, FaultConfig{ReorderProb: 0.5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const total = 20
+		for i := 1; i <= total; i++ {
+			if err := a.Send(ctx, "b", Message{Type: MsgPhaseStart, Sweep: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var got []int
+		for i := 0; i < total; i++ {
+			m, err := b.Recv(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, m.Sweep)
+		}
+		return got
+	}
+	first, second := run(7), run(7)
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Errorf("same seed produced different orders:\n%v\n%v", first, second)
+	}
+	reordered := false
+	for i, v := range first {
+		if v != i+1 {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Error("ReorderProb=0.5 over 20 sends produced in-order delivery")
+	}
+}

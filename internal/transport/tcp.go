@@ -8,8 +8,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
 
 // maxFrameSize bounds inbound frames (16 MiB); a malformed or hostile
@@ -29,6 +31,8 @@ type TCPEndpoint struct {
 	peers   map[string]string
 	conns   map[string]*tcpConn
 	inbound map[net.Conn]struct{}
+	redial  RetryPolicy
+	rng     *rand.Rand
 
 	wg sync.WaitGroup
 }
@@ -58,10 +62,33 @@ func NewTCPEndpoint(name, listenAddr string) (*TCPEndpoint, error) {
 		peers:   make(map[string]string),
 		conns:   make(map[string]*tcpConn),
 		inbound: make(map[net.Conn]struct{}),
+		redial:  defaultRedialPolicy(),
+		rng:     rand.New(rand.NewSource(1)),
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
 	return e, nil
+}
+
+// defaultRedialPolicy keeps Send's worst case short: three attempts with
+// 5ms→20ms backoff covers a peer restart without stalling the caller for
+// longer than a protocol phase sub-window.
+func defaultRedialPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}.withDefaults()
+}
+
+// SetRedialPolicy replaces the redial-with-backoff schedule used by Send
+// when a cached connection turns out to be dead or a dial fails (zero
+// value restores the default). Call before the endpoint is shared.
+func (e *TCPEndpoint) SetRedialPolicy(p RetryPolicy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.redial = p.withDefaults()
+	e.rng = rand.New(rand.NewSource(p.Seed))
+	e.mu.Unlock()
+	return nil
 }
 
 // Name implements Endpoint.
@@ -126,7 +153,12 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	}
 }
 
-// Send implements Endpoint.
+// Send implements Endpoint. A dead cached connection or a failed dial is
+// retried under the endpoint's redial policy (exponential backoff with
+// jitter), which rides out a peer restart mid-run; the at-most-once
+// delivery contract is unchanged because a successful write is never
+// repeated. Send returns the last error once the attempts are exhausted,
+// and returns immediately on context cancellation or endpoint close.
 func (e *TCPEndpoint) Send(ctx context.Context, to string, m Message) error {
 	e.mu.Lock()
 	if e.closed {
@@ -134,6 +166,7 @@ func (e *TCPEndpoint) Send(ctx context.Context, to string, m Message) error {
 		return ErrClosed
 	}
 	addr, ok := e.peers[to]
+	policy := e.redial
 	e.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
@@ -145,11 +178,23 @@ func (e *TCPEndpoint) Send(ctx context.Context, to string, m Message) error {
 	if err != nil {
 		return err
 	}
-	// One dial retry covers a stale cached connection (peer restarted).
-	for attempt := 0; attempt < 2; attempt++ {
+	var lastErr error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			e.mu.Lock()
+			d := policy.delay(attempt-1, e.rng)
+			e.mu.Unlock()
+			if err := sleepCtx(ctx, d); err != nil {
+				return err
+			}
+		}
 		tc, err := e.connTo(ctx, to, addr, attempt > 0)
 		if err != nil {
-			return err
+			if errors.Is(err, ErrClosed) || ctx.Err() != nil {
+				return err
+			}
+			lastErr = err
+			continue
 		}
 		tc.mu.Lock()
 		_, werr := tc.conn.Write(frame)
@@ -158,11 +203,15 @@ func (e *TCPEndpoint) Send(ctx context.Context, to string, m Message) error {
 			return nil
 		}
 		e.dropConn(to, tc)
-		if attempt == 1 {
-			return fmt.Errorf("transport: send to %q: %w", to, werr)
+		lastErr = fmt.Errorf("transport: send to %q: %w", to, werr)
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return ErrClosed
 		}
 	}
-	return nil
+	return lastErr
 }
 
 // connTo returns the cached connection to a peer, dialing when absent or

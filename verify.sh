@@ -7,6 +7,7 @@
 #   internal/core      DUA sweep, zero-alloc subproblem workspaces
 #   internal/sim       distributed BS/SBS protocol (goroutines + transport)
 #   internal/transport in-process message passing
+#   internal/chaos     fault schedules against the protocol (short mode)
 #
 # CI and pre-merge checks call this script; it exits non-zero on the first
 # failure. The full (non-race) suite is `go test ./...`.
@@ -19,5 +20,8 @@ go vet ./...
 
 echo "verify: go test -race ./internal/core/... ./internal/sim/... ./internal/transport/..."
 go test -race ./internal/core/... ./internal/sim/... ./internal/transport/...
+
+echo "verify: go test -race -short ./internal/chaos/..."
+go test -race -short ./internal/chaos/...
 
 echo "verify: OK"
