@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsFullSuite(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"noalloc", "determinism", "floateq", "flataccess", "lockedsend"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-analyzers", "nope", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, errOut.String())
+	}
+}
+
+// TestRepoGatePasses runs the driver exactly as verify.sh does and
+// requires a clean module.
+func TestRepoGatePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load is not short")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("edgelint found violations (exit %d):\n%s%s", code, out.String(), errOut.String())
+	}
+}

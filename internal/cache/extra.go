@@ -45,7 +45,7 @@ func (c *LFUDA) Access(content int) bool {
 	if len(c.items) >= c.capacity {
 		victim, best := -1, &lfudaEntry{key: 1 << 62, lastUsed: 1 << 62}
 		for k, e := range c.items {
-			if e.key < best.key || (e.key == best.key && e.lastUsed < best.lastUsed) {
+			if e.key < best.key || (e.key == best.key && e.lastUsed < best.lastUsed) { //edgecache:lint-ignore floateq LFUDA keys are sums of integer costs and ages; equal keys are bit-identical
 				victim, best = k, e
 			}
 		}

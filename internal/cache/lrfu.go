@@ -82,7 +82,7 @@ func (c *LRFU) victim() int {
 	best := math.Inf(1)
 	for k, e := range c.items {
 		score := math.Log2(e.crf) + c.lambda*e.lastUsed
-		if score < best || (score == best && k < victim) {
+		if score < best || (score == best && k < victim) { //edgecache:lint-ignore floateq exact tie-break keeps eviction deterministic; near-equal CRFs must not alias
 			best = score
 			victim = k
 		}

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCorpusCommitted fails when the coordinator fuzz target loses its
+// committed seeds under testdata/fuzz: plain `go test` (short mode
+// included) replays them, so they are part of the regression suite.
+func TestCorpusCommitted(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "fuzz", "FuzzCoordinator"))
+	if err != nil || len(entries) == 0 {
+		t.Errorf("no committed seed corpus for FuzzCoordinator (err=%v)", err)
+	}
+}

@@ -75,15 +75,19 @@ func (l *LPPM) Mechanism() NoiseMechanism { return l.cfg.Mechanism }
 // the clean block intact for the UploadTap ground truth.
 func (l *LPPM) Perturb(label string, routing model.Mat) (model.Mat, error) {
 	noised := model.NewMat(routing.U, routing.F)
-	for i, v := range routing.Data {
-		if v <= 0 {
-			continue
+	for u := 0; u < routing.U; u++ {
+		src := routing.Row(u)
+		dst := noised.Row(u)
+		for f, v := range src {
+			if v <= 0 {
+				continue
+			}
+			r, err := l.noise(v)
+			if err != nil {
+				return model.Mat{}, err
+			}
+			dst[f] = v - r
 		}
-		r, err := l.noise(v)
-		if err != nil {
-			return model.Mat{}, err
-		}
-		noised.Data[i] = v - r
 	}
 	if l.cfg.Accountant != nil {
 		if err := l.cfg.Accountant.Record(label, l.cfg.Epsilon); err != nil {

@@ -131,9 +131,7 @@ func RunMultiBS(inst *model.Instance, cfg MultiBSConfig) (*RunResult, error) {
 			// foreign + intra-region aggregates.
 			for _, n := range region {
 				yMinus := intraAggregateExcept(inst, next, region, n)
-				for i, v := range foreign[r].Data {
-					yMinus.Data[i] += v
-				}
+				yMinus.AddFrom(foreign[r])
 				sub, err := subs[n].Solve(yMinus)
 				if err != nil {
 					return nil, err

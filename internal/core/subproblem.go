@@ -174,7 +174,7 @@ func NewSubproblem(inst *model.Instance, n int, cfg SubproblemConfig) (*Subprobl
 	}
 	sort.Slice(s.densityOrder, func(a, b int) bool {
 		ia, ib := s.densityOrder[a], s.densityOrder[b]
-		if s.items[ia].density != s.items[ib].density {
+		if s.items[ia].density != s.items[ib].density { //edgecache:lint-ignore floateq sort comparator must be a strict weak order; epsilon ties would break transitivity
 			return s.items[ia].density > s.items[ib].density
 		}
 		return ia < ib
@@ -222,6 +222,8 @@ type Result struct {
 // included) is owned by the Subproblem and is overwritten by the next
 // Solve/SolveExact call. Callers must copy anything they retain —
 // RoutingPolicy.SetSBS and CachingPolicy.SetRow both copy.
+//
+//edgecache:noalloc
 func (s *Subproblem) Solve(yMinus model.Mat) (*Result, error) {
 	if yMinus.U != s.inst.U || yMinus.F != s.inst.F {
 		return nil, fmt.Errorf("core: yMinus is %dx%d, want U=%d F=%d",
@@ -579,7 +581,7 @@ type scoreSorter struct {
 func (s *scoreSorter) Len() int { return len(s.idx) }
 func (s *scoreSorter) Less(a, b int) bool {
 	ia, ib := s.idx[a], s.idx[b]
-	if s.score[ia] != s.score[ib] {
+	if s.score[ia] != s.score[ib] { //edgecache:lint-ignore floateq sort comparator must be a strict weak order; epsilon ties would break transitivity
 		return s.score[ia] > s.score[ib]
 	}
 	return ia < ib
@@ -596,7 +598,7 @@ type ratioSorter struct {
 func (s *ratioSorter) Len() int { return len(s.order) }
 func (s *ratioSorter) Less(a, b int) bool {
 	ia, ib := s.order[a], s.order[b]
-	if s.ratio[ia] != s.ratio[ib] {
+	if s.ratio[ia] != s.ratio[ib] { //edgecache:lint-ignore floateq sort comparator must be a strict weak order; epsilon ties would break transitivity
 		return s.ratio[ia] < s.ratio[ib]
 	}
 	return ia < ib

@@ -88,8 +88,11 @@ func EvaluateTheorem5(inst *model.Instance, lppm *LPPM, y *model.RoutingPolicy,
 			if err != nil {
 				return nil, err
 			}
-			for i, v := range block.Data {
-				noiseMass += clean.Data[i] - v
+			for u := 0; u < block.U; u++ {
+				cleanRow, noisedRow := clean.Row(u), block.Row(u)
+				for f, v := range noisedRow {
+					noiseMass += cleanRow[f] - v
+				}
 			}
 			noised.SetSBS(n, block)
 		}

@@ -1,0 +1,57 @@
+// Package floats provides the epsilon-comparison helpers the edgelint
+// floateq analyzer steers float64 code onto. Exact `==`/`!=` between
+// computed float64 values is almost always a bug (two mathematically equal
+// expressions rarely share a bit pattern after independent rounding), so
+// comparisons of computed values go through Eq/Near/LeqSlack instead; the
+// rare intentionally-exact comparison (sort tie-breaks, bit-pattern
+// checks) carries an //edgecache:lint-ignore floateq directive with a
+// written reason.
+//
+// The package is dependency-free so every layer — model, core, sim — can
+// import it.
+package floats
+
+import "math"
+
+// Eps is the default absolute/relative tolerance. The solver's interior
+// quantities (costs, routing fractions, multipliers) live within a few
+// orders of magnitude of 1, where 1e-9 comfortably exceeds accumulated
+// rounding error while staying far below any meaningful difference.
+const Eps = 1e-9
+
+// Eq reports whether a and b are equal within Eps, absolutely for small
+// values and relatively for large ones: |a−b| ≤ Eps·max(1, |a|, |b|).
+//
+//edgecache:noalloc
+func Eq(a, b float64) bool { return Near(a, b, Eps) }
+
+// Near reports |a−b| ≤ eps·max(1, |a|, |b|). Infinities of the same sign
+// compare equal; any comparison involving NaN is false.
+//
+//edgecache:noalloc
+func Near(a, b, eps float64) bool {
+	if a == b { //edgecache:lint-ignore floateq the fast path and the Inf==Inf case are exact by design
+		return true
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 1) {
+		// Opposite infinities, or finite vs infinite: the relative-scale
+		// bound would be infinite too and wave the comparison through.
+		return false
+	}
+	scale := 1.0
+	if aa := math.Abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := math.Abs(b); ab > scale {
+		scale = ab
+	}
+	return diff <= eps*scale
+}
+
+// LeqSlack reports a ≤ b + slack, the one-sided check used for feasibility
+// slack (capacity, bandwidth and box constraints may overshoot by rounding
+// but never by more than slack).
+//
+//edgecache:noalloc
+func LeqSlack(a, b, slack float64) bool { return a <= b+slack }

@@ -1,0 +1,63 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, true},
+		{"zero", 0, 0, true},
+		{"within absolute eps", 1e-12, 0, true},
+		{"outside absolute eps", 1e-6, 0, false},
+		{"within relative eps", 1e12, 1e12 * (1 + 1e-10), true},
+		{"outside relative eps", 1e12, 1e12 * (1 + 1e-6), false},
+		{"accumulated thirds", 0.1 + 0.2, 0.3, true},
+		{"same-sign infinities", math.Inf(1), math.Inf(1), true},
+		{"opposite infinities", math.Inf(1), math.Inf(-1), false},
+		{"nan never equal", math.NaN(), math.NaN(), false},
+		{"nan vs finite", math.NaN(), 1, false},
+	}
+	for _, tc := range tests {
+		if got := Eq(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: Eq(%v, %v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestNearCustomEps(t *testing.T) {
+	if !Near(1.0, 1.05, 0.1) {
+		t.Error("Near(1, 1.05, 0.1) = false, want true")
+	}
+	if Near(1.0, 1.2, 0.1) {
+		t.Error("Near(1, 1.2, 0.1) = true, want false")
+	}
+}
+
+func TestLeqSlack(t *testing.T) {
+	if !LeqSlack(1.0000000001, 1.0, 1e-9) {
+		t.Error("rounding overshoot should satisfy LeqSlack")
+	}
+	if LeqSlack(1.1, 1.0, 1e-9) {
+		t.Error("real violation should fail LeqSlack")
+	}
+}
+
+func TestHelpersZeroAllocs(t *testing.T) {
+	var sink bool
+	for name, fn := range map[string]func(){
+		"Eq":       func() { sink = Eq(1.5, 1.5000001) },
+		"Near":     func() { sink = Near(1.5, 1.6, 0.2) },
+		"LeqSlack": func() { sink = LeqSlack(1.0, 1.0, 1e-9) },
+	} {
+		if avg := testing.AllocsPerRun(100, fn); avg != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", name, avg)
+		}
+	}
+	_ = sink
+}

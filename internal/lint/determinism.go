@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Determinism keeps the solver and protocol layers replayable: the chaos
+// harness (internal/chaos) asserts exact schedules against seeded runs, so
+// non-test code in the scoped packages may not read the wall clock
+// (time.Now, time.Since), draw from the global math/rand source, or
+// iterate a map (iteration order is randomized per run). Randomness flows
+// through injected, seeded *rand.Rand values and timestamps through the
+// caller; map contents are iterated via sorted key slices.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no wall clock, global math/rand, or map iteration in protocol/solver code",
+	Run:  runDeterminism,
+}
+
+// determinismPkgs are the import paths (prefix match on path segments)
+// whose non-test code must be deterministic. The fixtures entry exists so
+// the analyzer's own test suite runs through the identical scope check.
+var determinismPkgs = []string{
+	"edgecache/internal/core",
+	"edgecache/internal/sim",
+	"edgecache/internal/chaos",
+	"edgecache/internal/lint/fixtures/determsrc",
+}
+
+// determinismFiles extends the scope to single files in otherwise exempt
+// packages: the reliable-transport retry loop must be deterministic under
+// seeded jitter even though the rest of the transport layer touches real
+// sockets and timers.
+var determinismFiles = map[string]map[string]bool{
+	"edgecache/internal/transport": {"reliable.go": true},
+}
+
+// bannedGlobalRand lists the math/rand (and math/rand/v2) package-level
+// functions backed by the shared global source.
+var bannedGlobalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+func determinismInScope(pkgPath, filename string) bool {
+	for _, p := range determinismPkgs {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	if files := determinismFiles[pkgPath]; files != nil {
+		return files[filepath.Base(filename)]
+	}
+	return false
+}
+
+func runDeterminism(pass *Pass) {
+	pkg := pass.Pkg
+	for i, file := range pkg.Files {
+		if !determinismInScope(pkg.Path, pkg.Filenames[i]) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := node.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					return true // methods (e.g. *rand.Rand, time.Timer) are fine
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+						pass.Reportf(node.Pos(),
+							"time.%s breaks run replayability; inject a clock (or take the timestamp at the caller)", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if bannedGlobalRand[fn.Name()] {
+						pass.Reportf(node.Pos(),
+							"global rand.%s is seeded per-process; draw from an injected seeded *rand.Rand instead", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pkg.Info.Types[node.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(node.Pos(),
+						"map iteration order is nondeterministic; collect and sort the keys first")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,46 @@
+// Package determsrc holds deliberate determinism violations and clean
+// counterparts. Its import path is listed in the analyzer's scope so the
+// test suite exercises the same path check production packages go
+// through; the edgelint driver skips everything under
+// internal/lint/fixtures.
+package determsrc
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Violations reads the wall clock, the global rand source, and a map's
+// iteration order — each one breaks seeded-run replayability.
+func Violations(m map[string]int) int {
+	start := time.Now()     // want `time\.Now breaks run replayability`
+	total := rand.Intn(100) // want `global rand\.Intn is seeded per-process`
+	for k := range m {      // want `map iteration order is nondeterministic`
+		total += len(k)
+	}
+	elapsed := time.Since(start) // want `time\.Since breaks run replayability`
+	return total + int(elapsed)
+}
+
+// Clean shows the approved forms: injected seeded source, and key
+// collection whose order the subsequent sort restores (the one map range
+// worth suppressing, with the reason written down).
+func Clean(r *rand.Rand, m map[string]int) int {
+	keys := make([]string, 0, len(m))
+	for k := range m { //edgecache:lint-ignore determinism iteration order is laundered by the sort below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := r.Intn(100)
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// CleanMethods proves that methods on injected values stay allowed even
+// when their packages export banned top-level twins.
+func CleanMethods(r *rand.Rand, deadline time.Time) bool {
+	return r.Float64() < 0.5 && deadline.IsZero()
+}

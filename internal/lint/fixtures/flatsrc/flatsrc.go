@@ -1,0 +1,39 @@
+// Package flatsrc holds deliberate raw backing-slice accesses to model.Mat
+// and model.Tensor3 plus the accessor-based clean forms. The edgelint
+// driver skips everything under internal/lint/fixtures.
+package flatsrc
+
+import "edgecache/internal/model"
+
+// SumRaw ranges the backing slice directly — the exact pattern the
+// flat-tensor boundary forbids outside internal/model.
+func SumRaw(m model.Mat) float64 {
+	total := 0.0
+	for _, v := range m.Data { // want `raw access to model\.Mat backing storage`
+		total += v
+	}
+	return total
+}
+
+// PokeRaw writes through hand-rolled stride arithmetic.
+func PokeRaw(t *model.Tensor3, n, u, f int) {
+	t.Data[(n*t.U+u)*t.F+f] = 1 // want `raw access to model\.Tensor3 backing storage`
+}
+
+// SumClean is the approved form: accessors keep the stride arithmetic in
+// internal/model.
+func SumClean(m model.Mat) float64 {
+	total := 0.0
+	for u := 0; u < m.U; u++ {
+		row := m.Row(u)
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}
+
+// PokeClean writes through the accessor API.
+func PokeClean(t *model.Tensor3, n, u, f int) {
+	t.Set(n, u, f, 1)
+}

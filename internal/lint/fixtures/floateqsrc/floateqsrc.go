@@ -1,0 +1,48 @@
+// Package floateqsrc holds deliberate exact-float-comparison violations,
+// sentinel comparisons the analyzer must allow, and the directive forms
+// (used, unused, malformed) the suppression machinery is tested against.
+// The edgelint driver skips everything under internal/lint/fixtures.
+package floateqsrc
+
+import "math"
+
+// Converged compares two computed values exactly — the canonical bug.
+func Converged(prev, cost float64) bool {
+	return prev == cost // want `exact float == comparison`
+}
+
+// Changed accumulates and then compares exactly.
+func Changed(xs []float64, prev float64) bool {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum != prev // want `exact float != comparison`
+}
+
+// Sentinels shows the allowed exact forms: constants and math.Inf are
+// exact by construction.
+func Sentinels(cost float64) bool {
+	if cost == 0 {
+		return true
+	}
+	if cost == math.Inf(1) {
+		return false
+	}
+	const unset = -1.0
+	return cost != unset
+}
+
+// TieBreak is the sanctioned escape hatch: exactness is the point, and the
+// directive says why.
+func TieBreak(a, b float64) bool {
+	if a != b { //edgecache:lint-ignore floateq sort tie-break must distinguish any bit-level difference
+		return a < b
+	}
+	return false
+}
+
+//edgecache:lint-ignore floateq nothing on the next line compares floats // want `unused lint-ignore floateq directive`
+func Stale(a, b int) bool {
+	return a == b
+}

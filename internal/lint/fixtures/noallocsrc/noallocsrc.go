@@ -1,0 +1,72 @@
+// Package noallocsrc holds deliberate //edgecache:noalloc violations and
+// annotated-clean hot paths for the analyzer test suite. The edgelint
+// driver skips everything under internal/lint/fixtures.
+package noallocsrc
+
+import "math"
+
+const workCap = 16
+
+// State mimics a solver workspace: preallocated buffers refilled per call.
+type State struct {
+	ws    []int
+	score [workCap]float64
+	out   float64
+}
+
+// Hot violates the contract directly in the annotated body.
+//
+//edgecache:noalloc
+func Hot(s *State, xs []int) int {
+	fresh := []int{}             // want `slice literal allocates`
+	fresh = append(fresh, xs...) // want `append may allocate`
+	counts := make(map[int]int)  // want `make allocates`
+	for _, x := range xs {
+		counts[x]++
+	}
+	return len(fresh) + len(counts)
+}
+
+// Root is clean itself but calls a helper that allocates: the closure walk
+// must carry the diagnostic back to the root annotation.
+//
+//edgecache:noalloc
+func Root(s *State) float64 {
+	return helper(s)
+}
+
+func helper(s *State) float64 {
+	box := new(float64) // want `new allocates`
+	*box = s.score[0]
+	return *box
+}
+
+// Clean exercises every allowed construct: the workspace [:0] reset-append
+// idiom, cold validation guards, and allowlisted math calls.
+//
+//edgecache:noalloc
+func Clean(s *State, xs []int) float64 {
+	if len(xs) > cap(s.ws) {
+		panic("noallocsrc: input exceeds workspace " + "capacity")
+	}
+	buf := s.ws[:0]
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	total := 0.0
+	for _, x := range buf {
+		total += math.Sqrt(float64(x))
+	}
+	s.out = total
+	return total
+}
+
+// Unmarked allocates freely: no directive, not reachable from one, so the
+// analyzer must stay silent here.
+func Unmarked(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}

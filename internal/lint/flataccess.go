@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FlatAccess preserves the flat-tensor refactor boundary from PR 1: the
+// stride arithmetic of model.Mat and model.Tensor3 (Data[u*F+f],
+// Data[(n*U+u)*F+f]) lives in exactly one place — internal/model's
+// accessor methods (At/Set/Add/Row/SBSRow and friends). Outside that
+// package, touching the Data backing slice directly re-scatters the
+// layout convention across the codebase, where a future stride change
+// (padding, blocking, SoA splits) cannot find it. Hot loops that need
+// whole-matrix traversal get a dedicated accessor on the model type
+// instead.
+var FlatAccess = &Analyzer{
+	Name: "flataccess",
+	Doc:  "no raw Mat/Tensor3 backing-slice (.Data) access outside internal/model",
+	Run:  runFlatAccess,
+}
+
+const modelPkgPath = "edgecache/internal/model"
+
+func runFlatAccess(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Path == modelPkgPath {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Data" {
+				return true
+			}
+			tv, ok := pkg.Info.Types[sel.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			name := flatTensorTypeName(tv.Type)
+			if name == "" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"raw access to model.%s backing storage outside internal/model; use the accessor API (At/Set/Add/Row/SBSRow) or add a dedicated accessor to internal/model", name)
+			return true
+		})
+	}
+}
+
+// flatTensorTypeName returns "Mat" or "Tensor3" when t (possibly behind a
+// pointer) is one of the flat tensor types, else "".
+func flatTensorTypeName(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != modelPkgPath {
+		return ""
+	}
+	if name := obj.Name(); name == "Mat" || name == "Tensor3" {
+		return name
+	}
+	return ""
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags exact ==/!= between computed float64 (or float32) values:
+// after independent rounding, mathematically equal expressions rarely
+// share a bit pattern, so exact comparison is almost always a lurking
+// convergence or feasibility bug. Comparisons against constants (0, 1,
+// sentinels) and math.Inf are exact by construction and allowed; the rare
+// intentional exact comparison — sort tie-breaking, change detection —
+// carries an //edgecache:lint-ignore floateq directive with its reason.
+//
+// The analyzer attaches a machine-applicable fix (edgelint -fix) that
+// rewrites `a == b` to `floats.Eq(a, b)` and `a != b` to `!floats.Eq(a,
+// b)`, adding the edgecache/internal/floats import when missing.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no exact ==/!= between computed float values; use internal/floats helpers",
+	Run:  runFloatEq,
+}
+
+const floatsPkgPath = "edgecache/internal/floats"
+
+func runFloatEq(pass *Pass) {
+	pkg := pass.Pkg
+	for i, file := range pkg.Files {
+		filename := pkg.Filenames[i]
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pkg, be.X) || !isFloat(pkg, be.Y) {
+				return true
+			}
+			if isExactOperand(pkg, be.X) || isExactOperand(pkg, be.Y) {
+				return true
+			}
+			fixes := floatEqFixes(pass, file, filename, be)
+			op := "=="
+			helper := "floats.Eq"
+			if be.Op == token.NEQ {
+				op = "!="
+				helper = "!floats.Eq"
+			}
+			pass.Report(be.Pos(), fmt.Sprintf(
+				"exact float %s comparison; use %s(a, b) from %s (or an //edgecache:lint-ignore floateq <reason> if exactness is intended)",
+				op, helper, floatsPkgPath), fixes)
+			return true
+		})
+	}
+}
+
+func isFloat(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isExactOperand reports whether the operand's value is exact by
+// construction: an untyped or typed constant (literals, named constants)
+// or a math.Inf call.
+func isExactOperand(pkg *Package, e ast.Expr) bool {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil {
+		return fn.Pkg().Path() == "math" && fn.Name() == "Inf"
+	}
+	return false
+}
+
+// floatEqFixes builds the rewrite to floats.Eq, including the import edit
+// when the file does not import the helpers yet.
+func floatEqFixes(pass *Pass, file *ast.File, filename string, be *ast.BinaryExpr) []TextEdit {
+	pkg, prog := pass.Pkg, pass.Prog
+	left := pkg.sourceAt(prog.Fset, be.X.Pos(), be.X.End())
+	right := pkg.sourceAt(prog.Fset, be.Y.Pos(), be.Y.End())
+	if left == "" || right == "" {
+		return nil
+	}
+	var repl string
+	if be.Op == token.EQL {
+		repl = fmt.Sprintf("floats.Eq(%s, %s)", left, right)
+	} else {
+		repl = fmt.Sprintf("!floats.Eq(%s, %s)", left, right)
+	}
+	fixes := []TextEdit{{Pos: be.Pos(), End: be.End(), NewText: repl}}
+	if edit, ok := addImportEdit(file, floatsPkgPath); ok {
+		fixes = append(fixes, edit)
+	}
+	return fixes
+}
+
+// addImportEdit returns an edit inserting the import, or ok=false when the
+// file already imports it. Insertion requires an existing grouped import
+// block; single-import files fall back to fix-less diagnostics.
+func addImportEdit(file *ast.File, path string) (TextEdit, bool) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			is := spec.(*ast.ImportSpec)
+			if strings.Trim(is.Path.Value, `"`) == path {
+				return TextEdit{}, false
+			}
+		}
+		if gd.Lparen.IsValid() && len(gd.Specs) > 0 {
+			last := gd.Specs[len(gd.Specs)-1].(*ast.ImportSpec)
+			return TextEdit{
+				Pos:     last.End(),
+				End:     last.End(),
+				NewText: "\n\n\t\"" + path + "\"",
+			}, true
+		}
+	}
+	return TextEdit{}, false
+}

@@ -1,0 +1,88 @@
+// Package linttest checks analyzers against fixture packages annotated
+// with golden-diagnostic comments, in the spirit of analysistest:
+//
+//	x := make([]int, n) // want `make allocates`
+//
+// A `// want` comment carries one backquoted regular expression per
+// diagnostic expected on that line. Every reported diagnostic must match
+// an expectation on its exact file:line, and every expectation must be
+// matched — extra and missing findings both fail the test.
+package linttest
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"testing"
+
+	"edgecache/internal/lint"
+)
+
+var (
+	wantLineRe = regexp.MustCompile(`// want (.+)$`)
+	wantArgRe  = regexp.MustCompile("`([^`]+)`")
+)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Check loads pattern (relative to dir), runs the named analyzers
+// (comma-separated, "" for all) over every loaded module package, and
+// compares the surviving diagnostics against the fixtures' want comments.
+func Check(t *testing.T, dir, analyzers, pattern string) {
+	t.Helper()
+	suite, err := lint.ByName(analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lint.Load(dir, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := prog.Run(suite, nil)
+
+	wants := map[string][]*expectation{}
+	for _, pkg := range prog.Packages {
+		for i, src := range pkg.Sources {
+			filename := pkg.Filenames[i]
+			for lineNo, line := range bytes.Split(src, []byte("\n")) {
+				m := wantLineRe.FindSubmatch(line)
+				if m == nil {
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", filename, lineNo+1)
+				for _, arg := range wantArgRe.FindAllSubmatch(m[1], -1) {
+					re, err := regexp.Compile(string(arg[1]))
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, arg[1], err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matching %q", key, w.re)
+			}
+		}
+	}
+}

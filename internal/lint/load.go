@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader type-checks the module's packages without any dependency
+// beyond the standard library and the go tool itself: `go list -export
+// -deps -json` names every package in dependency order and produces gc
+// export data for each (the go tool compiles offline from the build
+// cache), module packages are parsed and type-checked from source so the
+// analyzers see full syntax, and imports resolve through the freshly
+// type-checked module packages first, falling back to the export data for
+// the standard library. This is the stdlib stand-in for
+// golang.org/x/tools/go/packages, which the build environment cannot
+// fetch.
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+}
+
+// Package is one type-checked module package.
+type Package struct {
+	// Path is the import path, Dir the package directory.
+	Path string
+	Dir  string
+	// Files holds the parsed non-test sources (comments included);
+	// Filenames and Sources align with it (absolute paths, raw bytes).
+	Files     []*ast.File
+	Filenames []string
+	Sources   [][]byte
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a load of the module: every requested package plus every
+// module dependency, type-checked, in dependency order.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	ByPath   map[string]*Package
+
+	// noalloc's whole-program results, computed once on demand.
+	noallocOnce bool
+	noallocDiag map[string][]Diagnostic
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Load lists patterns in the module rooted at (or containing) dir and
+// type-checks every non-standard-library package, dependencies first.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Standard,Export,GoFiles", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var modPkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			modPkgs = append(modPkgs, p)
+		}
+	}
+
+	prog := &Program{Fset: token.NewFileSet(), ByPath: map[string]*Package{}}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	gc := importer.ForCompiler(prog.Fset, "gc", lookup)
+	var imp importerFunc = func(path string) (*types.Package, error) {
+		if p, ok := prog.ByPath[path]; ok {
+			return p.Types, nil
+		}
+		return gc.Import(path)
+	}
+
+	for _, lp := range modPkgs {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg := &Package{Path: lp.ImportPath, Dir: lp.Dir}
+		for _, name := range lp.GoFiles {
+			filename := filepath.Join(lp.Dir, name)
+			src, err := os.ReadFile(filename)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %v", err)
+			}
+			file, err := parser.ParseFile(prog.Fset, filename, src, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %v", err)
+			}
+			pkg.Files = append(pkg.Files, file)
+			pkg.Filenames = append(pkg.Filenames, filename)
+			pkg.Sources = append(pkg.Sources, src)
+		}
+		pkg.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, prog.Fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, err)
+		}
+		pkg.Types = tpkg
+		prog.Packages = append(prog.Packages, pkg)
+		prog.ByPath[lp.ImportPath] = pkg
+	}
+	return prog, nil
+}
+
+// sourceAt returns the raw source bytes of [pos, end) or "" when the range
+// does not fall inside one of the package's files.
+func (p *Package) sourceAt(fset *token.FileSet, pos, end token.Pos) string {
+	position := fset.Position(pos)
+	for i, name := range p.Filenames {
+		if name == position.Filename {
+			lo := fset.Position(pos).Offset
+			hi := fset.Position(end).Offset
+			if lo < 0 || hi > len(p.Sources[i]) || lo > hi {
+				return ""
+			}
+			return string(p.Sources[i][lo:hi])
+		}
+	}
+	return ""
+}

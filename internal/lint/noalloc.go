@@ -1,0 +1,503 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc enforces the zero-allocation contract: a function marked
+// //edgecache:noalloc — and every function it statically calls within the
+// module — may not contain allocating constructs. The analyzer flags
+// append (unless it refills a workspace buffer reset with `buf[:0]` in the
+// same function), make, new, slice/map composite literals, address-taken
+// composite literals, func literals, go statements, string concatenation,
+// allocating string<->[]byte conversions, and calls that cannot be proven
+// allocation-free (dynamic calls, non-allowlisted functions outside the
+// module).
+//
+// Two escape hatches keep the check aligned with the runtime contract that
+// testing.AllocsPerRun locks in:
+//
+//   - cold guards — if-blocks that end in a return or panic — are exempt:
+//     they are validation paths (shape checks building fmt.Errorf values)
+//     that warm calls never take;
+//   - interface method calls are not traced (no static callee); the
+//     AllocsPerRun regression tests cover what dynamic dispatch hides.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "//edgecache:noalloc functions and their module callees must not allocate",
+	Run:  runNoAlloc,
+}
+
+// noallocAllowedCalls lists non-module functions that are known not to
+// allocate on any path the hot functions exercise.
+var noallocAllowedCalls = map[string]bool{
+	"sort.Sort":           true, // data already satisfies sort.Interface; no boxing
+	"sort.Search":         true,
+	"sort.SearchInts":     true,
+	"sort.SearchFloat64s": true,
+}
+
+// noallocAllowedPkgs lists non-module packages every function of which is
+// allocation-free.
+var noallocAllowedPkgs = map[string]bool{
+	"math":      true,
+	"math/bits": true,
+}
+
+func runNoAlloc(pass *Pass) {
+	diags := pass.Prog.noallocResults()
+	for _, d := range diags[pass.Pkg.Path] {
+		*pass.diags = append(*pass.diags, d)
+	}
+}
+
+// noallocFunc is one module function body the closure walk can reach.
+type noallocFunc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// noallocResults runs the whole-program closure analysis once and caches
+// the per-package diagnostics.
+func (prog *Program) noallocResults() map[string][]Diagnostic {
+	if prog.noallocOnce {
+		return prog.noallocDiag
+	}
+	prog.noallocOnce = true
+	prog.noallocDiag = map[string][]Diagnostic{}
+
+	// Index every function body in the module and find the directive roots.
+	funcs := map[*types.Func]noallocFunc{}
+	var roots []*types.Func
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				funcs[obj] = noallocFunc{pkg: pkg, decl: fd}
+				if hasNoallocDirective(fd) {
+					roots = append(roots, obj)
+				}
+			}
+		}
+	}
+
+	// Breadth-first closure over static module-internal calls, remembering
+	// which root each function is reachable from for the diagnostics.
+	rootOf := map[*types.Func]*types.Func{}
+	var queue []*types.Func
+	for _, r := range roots {
+		rootOf[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		nf := funcs[fn]
+		w := &noallocWalker{prog: prog, pkg: nf.pkg, fn: fn, root: rootOf[fn]}
+		w.resetVars = collectResetVars(nf.pkg, nf.decl.Body)
+		w.walkBody(nf.decl.Body)
+		for _, callee := range w.moduleCallees {
+			if _, seen := rootOf[callee]; seen {
+				continue
+			}
+			if _, hasBody := funcs[callee]; !hasBody {
+				continue
+			}
+			rootOf[callee] = rootOf[fn]
+			queue = append(queue, callee)
+		}
+		prog.noallocDiag[nf.pkg.Path] = append(prog.noallocDiag[nf.pkg.Path], w.diags...)
+	}
+	return prog.noallocDiag
+}
+
+// collectResetVars finds local variables (re)initialized from a `buf[:0]`
+// slice expression: appends that write back into such a variable reuse
+// preallocated workspace capacity and are the one allowed append form.
+func collectResetVars(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	reset := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			ident, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			sl, ok := as.Rhs[i].(*ast.SliceExpr)
+			if !ok || sl.Low != nil || sl.High == nil {
+				continue
+			}
+			if high, ok := sl.High.(*ast.BasicLit); !ok || high.Value != "0" {
+				continue
+			}
+			var obj types.Object
+			if as.Tok == token.DEFINE {
+				obj = pkg.Info.Defs[ident]
+			} else {
+				obj = pkg.Info.Uses[ident]
+			}
+			if obj != nil {
+				reset[obj] = true
+			}
+		}
+		return true
+	})
+	return reset
+}
+
+// noallocWalker scans one function body.
+type noallocWalker struct {
+	prog *Program
+	pkg  *Package
+	fn   *types.Func
+	root *types.Func
+
+	resetVars     map[types.Object]bool
+	moduleCallees []*types.Func
+	diags         []Diagnostic
+}
+
+func (w *noallocWalker) reportf(pos token.Pos, format string, args ...any) {
+	var where string
+	if w.fn != w.root {
+		where = fmt.Sprintf("%s (called from //edgecache:noalloc %s)", w.fn.Name(), w.root.Name())
+	} else {
+		where = fmt.Sprintf("//edgecache:noalloc %s", w.fn.Name())
+	}
+	w.diags = append(w.diags, Diagnostic{
+		Analyzer: "noalloc",
+		Pos:      w.prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...) + " in " + where,
+	})
+}
+
+// walkBody scans a statement block, skipping cold guards.
+func (w *noallocWalker) walkBody(block *ast.BlockStmt) {
+	for _, stmt := range block.List {
+		w.walkStmt(stmt)
+	}
+}
+
+func (w *noallocWalker) walkStmt(stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkExpr(s.Cond)
+		if !coldGuard(s) {
+			w.walkBody(s.Body)
+		}
+		if s.Else != nil {
+			w.walkStmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		w.walkBody(s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.walkExpr(s.Cond)
+		}
+		if s.Post != nil {
+			w.walkStmt(s.Post)
+		}
+		w.walkBody(s.Body)
+	case *ast.RangeStmt:
+		w.walkExpr(s.X)
+		w.walkBody(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.walkExpr(s.Tag)
+		}
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.walkExpr(e)
+			}
+			for _, st := range cc.Body {
+				w.walkStmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Type switches box their operand and selects imply channel
+		// traffic; neither belongs on a zero-alloc path.
+		w.reportf(stmt.Pos(), "%T is not allowed", stmt)
+	case *ast.GoStmt:
+		w.reportf(s.Pos(), "go statement allocates a goroutine")
+	case *ast.DeferStmt:
+		w.walkExpr(s.Call)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.walkExpr(e)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.walkExpr(e)
+		}
+		for _, e := range s.Lhs {
+			w.walkExpr(e)
+		}
+	case *ast.ExprStmt:
+		w.walkExpr(s.X)
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.reportf(s.Pos(), "channel send is not allowed")
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt, nil:
+	default:
+		// Conservatively descend into anything unanticipated.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.walkExpr(e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// coldGuard reports whether the if statement is a validation guard: no
+// else branch and a body ending in return or panic. Such blocks run only
+// on the error path, which the zero-alloc contract does not cover.
+func coldGuard(s *ast.IfStmt) bool {
+	if s.Else != nil || len(s.Body.List) == 0 {
+		return false
+	}
+	switch last := s.Body.List[len(s.Body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (w *noallocWalker) walkExpr(expr ast.Expr) {
+	switch e := expr.(type) {
+	case *ast.CallExpr:
+		w.walkCall(e)
+	case *ast.CompositeLit:
+		w.checkCompositeLit(e, false)
+	case *ast.FuncLit:
+		w.reportf(e.Pos(), "func literal allocates a closure")
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if cl, ok := e.X.(*ast.CompositeLit); ok {
+				w.checkCompositeLit(cl, true)
+				return
+			}
+		}
+		w.walkExpr(e.X)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			if t, ok := w.pkg.Info.Types[e.X]; ok {
+				if basic, ok := t.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+					w.reportf(e.Pos(), "string concatenation allocates")
+				}
+			}
+		}
+		w.walkExpr(e.X)
+		w.walkExpr(e.Y)
+	case *ast.ParenExpr:
+		w.walkExpr(e.X)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Index)
+	case *ast.SliceExpr:
+		w.walkExpr(e.X)
+	case *ast.SelectorExpr:
+		w.walkExpr(e.X)
+	case *ast.StarExpr:
+		w.walkExpr(e.X)
+	case *ast.TypeAssertExpr:
+		w.reportf(e.Pos(), "type assertion may allocate")
+	}
+}
+
+// checkCompositeLit allows by-value struct and array literals (no heap
+// allocation) and flags slice/map literals and address-taken literals.
+func (w *noallocWalker) checkCompositeLit(cl *ast.CompositeLit, addressTaken bool) {
+	for _, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			w.walkExpr(kv.Value)
+		} else {
+			w.walkExpr(elt)
+		}
+	}
+	tv, ok := w.pkg.Info.Types[cl]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		w.reportf(cl.Pos(), "slice literal allocates")
+	case *types.Map:
+		w.reportf(cl.Pos(), "map literal allocates")
+	default:
+		if addressTaken {
+			w.reportf(cl.Pos(), "address-taken composite literal escapes to the heap")
+		}
+	}
+}
+
+func (w *noallocWalker) walkCall(call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		w.walkExpr(arg)
+	}
+
+	// Builtins and conversions.
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := w.pkg.Info.Uses[fun]; ok {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				w.checkBuiltin(fun.Name, call)
+				return
+			}
+		}
+	case *ast.ParenExpr, *ast.ArrayType, *ast.MapType:
+		// Conversion via parenthesized or anonymous type below.
+	}
+	if tv, ok := w.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		w.checkConversion(tv.Type, call)
+		return
+	}
+
+	callee := calleeFunc(w.pkg, call)
+	if callee == nil {
+		w.reportf(call.Pos(), "dynamic call %s cannot be proven allocation-free", exprString(w.pkg, w.prog, call.Fun))
+		return
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isInterface := sig.Recv().Type().Underlying().(*types.Interface); isInterface {
+			// Interface dispatch: no static callee to trace. The
+			// AllocsPerRun regression tests cover this blind spot.
+			return
+		}
+	}
+	if callee.Pkg() == nil {
+		return // unsafe & friends
+	}
+	if w.prog.ByPath[callee.Pkg().Path()] != nil {
+		w.moduleCallees = append(w.moduleCallees, callee)
+		return
+	}
+	pkgPath := callee.Pkg().Path()
+	if noallocAllowedPkgs[pkgPath] || noallocAllowedCalls[pkgPath+"."+callee.Name()] {
+		return
+	}
+	w.reportf(call.Pos(), "call to %s.%s cannot be proven allocation-free", pkgPath, callee.Name())
+}
+
+func (w *noallocWalker) checkBuiltin(name string, call *ast.CallExpr) {
+	switch name {
+	case "append":
+		if !w.isWorkspaceAppend(call) {
+			w.reportf(call.Pos(), "append may allocate (only `buf = append(buf, ...)` on a `buf := ws[:0]` workspace reset is allowed)")
+		}
+	case "make":
+		w.reportf(call.Pos(), "make allocates")
+	case "new":
+		w.reportf(call.Pos(), "new allocates")
+	case "len", "cap", "copy", "delete", "min", "max", "real", "imag", "panic", "print", "println", "clear":
+		// Allocation-free (panic only fires on dead paths; its argument
+		// was already walked).
+	}
+}
+
+// isWorkspaceAppend recognizes `buf = append(buf, ...)` where buf was
+// reset from a workspace slice with `buf := ws[:0]` in the same function:
+// such appends refill preallocated capacity. Whether the capacity truly
+// suffices is the AllocsPerRun tests' job.
+func (w *noallocWalker) isWorkspaceAppend(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	argIdent, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := w.pkg.Info.Uses[argIdent]
+	if obj == nil || !w.resetVars[obj] {
+		return false
+	}
+	return true
+}
+
+func (w *noallocWalker) checkConversion(target types.Type, call *ast.CallExpr) {
+	switch target.Underlying().(type) {
+	case *types.Slice:
+		w.reportf(call.Pos(), "conversion to %s allocates", target)
+	case *types.Basic:
+		if basic := target.Underlying().(*types.Basic); basic.Info()&types.IsString != 0 && len(call.Args) == 1 {
+			if at, ok := w.pkg.Info.Types[call.Args[0]]; ok {
+				if _, fromSlice := at.Type.Underlying().(*types.Slice); fromSlice {
+					w.reportf(call.Pos(), "[]byte-to-string conversion allocates")
+				}
+			}
+		}
+	}
+}
+
+// calleeFunc resolves the static callee of a call, or nil for dynamic
+// calls through function values.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.ParenExpr:
+		return calleeFunc(pkg, &ast.CallExpr{Fun: fun.X, Args: call.Args})
+	}
+	return nil
+}
+
+// exprString renders an expression from source bytes, falling back to a
+// coarse description.
+func exprString(pkg *Package, prog *Program, e ast.Expr) string {
+	if s := pkg.sourceAt(prog.Fset, e.Pos(), e.End()); s != "" {
+		if len(s) > 40 {
+			s = s[:40] + "..."
+		}
+		return s
+	}
+	return fmt.Sprintf("%T", e)
+}

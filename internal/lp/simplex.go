@@ -148,7 +148,7 @@ func toStandardForm(p *Problem) (*standard, error) {
 		if math.IsInf(lo, -1) || math.IsInf(hi, 1) {
 			continue // mirrored or row-free cases need no extra row
 		}
-		if hi == lo {
+		if hi == lo { //edgecache:lint-ignore floateq a variable is fixed only when its declared bounds coincide exactly
 			// Fixed variable: z = 0; no row needed since z ≥ 0 and we can
 			// force it with an equality row only if some constraint pushes it
 			// up. z ≤ 0 with z ≥ 0 pins it; add the row to be safe.

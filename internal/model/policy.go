@@ -50,11 +50,15 @@ func CachingPolicyFromBools(rows [][]bool) (*CachingPolicy, error) {
 }
 
 // Get reports whether SBS n caches content f.
+//
+//edgecache:noalloc
 func (p *CachingPolicy) Get(n, f int) bool {
 	return p.bits[n*p.wordsPerRow+f/64]&(1<<(uint(f)%64)) != 0
 }
 
 // Set stores the caching decision for (n, f).
+//
+//edgecache:noalloc
 func (p *CachingPolicy) Set(n, f int, cached bool) {
 	w := &p.bits[n*p.wordsPerRow+f/64]
 	mask := uint64(1) << (uint(f) % 64)
@@ -67,6 +71,8 @@ func (p *CachingPolicy) Set(n, f int, cached bool) {
 
 // SetRow replaces SBS n's cache vector from a []bool of length F. It is
 // allocation-free, so the coordinator uses it in the sweep hot path.
+//
+//edgecache:noalloc
 func (p *CachingPolicy) SetRow(n int, row []bool) {
 	if len(row) != p.F {
 		panic(fmt.Sprintf("model: SetRow got %d entries, want F=%d", len(row), p.F))
@@ -197,9 +203,13 @@ func RoutingPolicyFromBlocks(blocks [][][]float64) (*RoutingPolicy, error) {
 }
 
 // At returns y_nuf.
+//
+//edgecache:noalloc
 func (p *RoutingPolicy) At(n, u, f int) float64 { return p.T.At(n, u, f) }
 
 // Set stores y_nuf.
+//
+//edgecache:noalloc
 func (p *RoutingPolicy) Set(n, u, f int, v float64) { p.T.Set(n, u, f, v) }
 
 // Clone returns a deep copy of the policy.
@@ -209,12 +219,16 @@ func (p *RoutingPolicy) Clone() *RoutingPolicy {
 
 // SetSBS replaces SBS n's routing block with a copy of y (U×F). It is
 // allocation-free: the data is copied into the tensor's backing array.
+//
+//edgecache:noalloc
 func (p *RoutingPolicy) SetSBS(n int, y Mat) {
 	p.T.SBSRow(n).CopyFrom(y)
 }
 
 // SBS returns SBS n's routing block as a Mat view without copying. Callers
 // must not mutate the result unless they own the policy.
+//
+//edgecache:noalloc
 func (p *RoutingPolicy) SBS(n int) Mat { return p.T.SBSRow(n) }
 
 // Blocks materializes the policy as nested per-SBS blocks (the stable
@@ -238,6 +252,8 @@ func (p *RoutingPolicy) Aggregate(in *Instance) Mat {
 
 // AggregateInto computes Aggregate into a caller-owned U×F matrix without
 // allocating. dst is overwritten.
+//
+//edgecache:noalloc
 func (p *RoutingPolicy) AggregateInto(in *Instance, dst Mat) {
 	dst.Zero()
 	for n := 0; n < in.N; n++ {
@@ -270,6 +286,8 @@ func (p *RoutingPolicy) AggregateExcept(in *Instance, n int) Mat {
 
 // AggregateExceptInto computes AggregateExcept into a caller-owned U×F
 // matrix without allocating. dst is overwritten.
+//
+//edgecache:noalloc
 func (p *RoutingPolicy) AggregateExceptInto(in *Instance, n int, dst Mat) {
 	dst.Zero()
 	for i := 0; i < in.N; i++ {
@@ -295,6 +313,8 @@ func (p *RoutingPolicy) AggregateExceptInto(in *Instance, n int, dst Mat) {
 // out, mirroring Aggregate: an off-link routing entry is structurally
 // unservable (it already trips the no-link feasibility check), so it must
 // not inflate the bandwidth accounting either.
+//
+//edgecache:noalloc
 func (p *RoutingPolicy) Load(in *Instance, n int) float64 {
 	var load float64
 	block := p.T.SBSRow(n)
@@ -343,10 +363,14 @@ func (t *AggregateTracker) Reset(in *Instance, y *RoutingPolicy) {
 
 // Aggregate exposes the current aggregate as a view. Callers must not
 // mutate it.
+//
+//edgecache:noalloc
 func (t *AggregateTracker) Aggregate() Mat { return t.agg }
 
 // YMinusInto computes y_{-n} = aggregate − SBS n's masked block into dst
 // without allocating. dst is overwritten.
+//
+//edgecache:noalloc
 func (t *AggregateTracker) YMinusInto(in *Instance, y *RoutingPolicy, n int, dst Mat) {
 	dst.CopyFrom(t.agg)
 	block := y.T.SBSRow(n)
@@ -365,6 +389,8 @@ func (t *AggregateTracker) YMinusInto(in *Instance, y *RoutingPolicy, n int, dst
 // Install stores upload as SBS n's block in y and advances the aggregate
 // to yMinus + upload (masked by n's links), all without allocating.
 // yMinus must be the matrix YMinusInto produced for this phase.
+//
+//edgecache:noalloc
 func (t *AggregateTracker) Install(in *Instance, y *RoutingPolicy, n int, yMinus, upload Mat) {
 	y.SetSBS(n, upload)
 	t.agg.CopyFrom(yMinus)

@@ -27,7 +27,9 @@ type Mat struct {
 	// U and F are the row and column counts.
 	U, F int
 	// Data is the row-major backing storage, len U·F. Direct access is
-	// allowed for tight loops; prefer At/Set/Row elsewhere.
+	// allowed only inside internal/model (the flataccess analyzer enforces
+	// this); everything else goes through At/Set/Add/Row or a dedicated
+	// accessor added here.
 	Data []float64
 }
 
@@ -56,15 +58,23 @@ func MatFromRows(rows [][]float64) (Mat, error) {
 }
 
 // At returns element (u, f).
+//
+//edgecache:noalloc
 func (m Mat) At(u, f int) float64 { return m.Data[u*m.F+f] }
 
 // Set stores v at element (u, f).
+//
+//edgecache:noalloc
 func (m Mat) Set(u, f int, v float64) { m.Data[u*m.F+f] = v }
 
 // Add accumulates v into element (u, f).
+//
+//edgecache:noalloc
 func (m Mat) Add(u, f int, v float64) { m.Data[u*m.F+f] += v }
 
 // Row returns row u as a slice view aliasing the backing array.
+//
+//edgecache:noalloc
 func (m Mat) Row(u int) []float64 { return m.Data[u*m.F : (u+1)*m.F : (u+1)*m.F] }
 
 // Rows materializes the matrix as a fresh nested [][]float64 (one backing
@@ -85,6 +95,8 @@ func (m Mat) Clone() Mat {
 }
 
 // CopyFrom overwrites m with src's contents. Shapes must match.
+//
+//edgecache:noalloc
 func (m Mat) CopyFrom(src Mat) {
 	if m.U != src.U || m.F != src.F {
 		panic(fmt.Sprintf("model: CopyFrom shape mismatch: %dx%d vs %dx%d", m.U, m.F, src.U, src.F))
@@ -92,7 +104,23 @@ func (m Mat) CopyFrom(src Mat) {
 	copy(m.Data, src.Data)
 }
 
+// AddFrom accumulates src into m element-wise. Shapes must match. This is
+// the whole-matrix accessor the multi-BS sweep uses to fold a foreign
+// aggregate into y⁻ without touching the backing slice directly.
+//
+//edgecache:noalloc
+func (m Mat) AddFrom(src Mat) {
+	if m.U != src.U || m.F != src.F {
+		panic(fmt.Sprintf("model: AddFrom shape mismatch: %dx%d vs %dx%d", m.U, m.F, src.U, src.F))
+	}
+	for i, v := range src.Data {
+		m.Data[i] += v
+	}
+}
+
 // Zero clears every element in place.
+//
+//edgecache:noalloc
 func (m Mat) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
@@ -116,14 +144,20 @@ func NewTensor3(n, u, f int) Tensor3 {
 }
 
 // At returns element (n, u, f).
+//
+//edgecache:noalloc
 func (t Tensor3) At(n, u, f int) float64 { return t.Data[(n*t.U+u)*t.F+f] }
 
 // Set stores v at element (n, u, f).
+//
+//edgecache:noalloc
 func (t Tensor3) Set(n, u, f int, v float64) { t.Data[(n*t.U+u)*t.F+f] = v }
 
 // SBSRow returns the U×F block of SBS n as a Mat view aliasing the backing
 // array: mutations through the view mutate the tensor. This is the accessor
 // that replaces `Route[n]` from the nested-slice era.
+//
+//edgecache:noalloc
 func (t Tensor3) SBSRow(n int) Mat {
 	base := n * t.U * t.F
 	return Mat{U: t.U, F: t.F, Data: t.Data[base : base+t.U*t.F : base+t.U*t.F]}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"edgecache/internal/floats"
 )
 
 // Series is one named line on a chart.
@@ -72,10 +74,10 @@ func Lines(cfg Config, series ...Series) (string, error) {
 			yMin, yMax = math.Min(yMin, s.Y[j]), math.Max(yMax, s.Y[j])
 		}
 	}
-	if xMax == xMin {
+	if floats.Eq(xMax, xMin) {
 		xMax = xMin + 1
 	}
-	if yMax == yMin {
+	if floats.Eq(yMax, yMin) {
 		yMax = yMin + 1
 	}
 

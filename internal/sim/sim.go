@@ -360,7 +360,6 @@ func (b *BSAgent) recvUpload(ctx context.Context, sweep, n int,
 	}
 }
 
-
 // applyUpload validates shapes and installs SBS n's policies, advancing
 // the BS's running aggregate from the yMinus computed for this phase.
 func (b *BSAgent) applyUpload(x *model.CachingPolicy, y *model.RoutingPolicy,

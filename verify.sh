@@ -1,13 +1,21 @@
 #!/bin/sh
 # verify.sh — the repository's tier-1 gate.
 #
-# Runs the static checks plus the race-enabled test suites of the three
-# packages that carry the concurrency- and hot-path-sensitive code:
+# Runs the static checks plus the race-enabled test suites of the packages
+# that carry the concurrency- and hot-path-sensitive code:
 #
+#   internal/model     flat tensor substrate, packed policies (zero-alloc)
 #   internal/core      DUA sweep, zero-alloc subproblem workspaces
 #   internal/sim       distributed BS/SBS protocol (goroutines + transport)
 #   internal/transport in-process message passing
 #   internal/chaos     fault schedules against the protocol (short mode)
+#   cmd/...            CLI drivers, including the edgelint self-check
+#
+# The edgelint gate runs the repository's custom analyzers (internal/lint):
+# noalloc, determinism, floateq, flataccess, lockedsend. It runs before the
+# race suites so invariant violations fail fast, and it must report zero
+# findings — suppressions need an //edgecache:lint-ignore <analyzer>
+# <reason> directive with a written reason.
 #
 # CI and pre-merge checks call this script; it exits non-zero on the first
 # failure. The full (non-race) suite is `go test ./...`.
@@ -18,8 +26,14 @@ cd "$(dirname "$0")"
 echo "verify: go vet ./..."
 go vet ./...
 
+echo "verify: edgelint ./..."
+go run ./cmd/edgelint ./...
+
 echo "verify: go test -race ./internal/core/... ./internal/sim/... ./internal/transport/..."
 go test -race ./internal/core/... ./internal/sim/... ./internal/transport/...
+
+echo "verify: go test -race ./internal/model/... ./cmd/..."
+go test -race ./internal/model/... ./cmd/...
 
 echo "verify: go test -race -short ./internal/chaos/..."
 go test -race -short ./internal/chaos/...
