@@ -9,6 +9,8 @@
 //	edgesim -groups 40 -links 60     # topology overrides
 //	edgesim -compare                 # also run LRFU and no-cache baselines
 //	edgesim -chaos "drop=0.3,crash=1@1+3"  # distributed run under faults
+//	edgesim -checkpoint-dir ckpt     # snapshot sweep state for crash recovery
+//	edgesim -checkpoint-dir ckpt -resume   # continue from the newest snapshot
 package main
 
 import (
@@ -59,9 +61,32 @@ func run(args []string) error {
 		loadInst    = fs.String("load-instance", "", "load the instance from JSON instead of building a scenario")
 		saveSol     = fs.String("save-solution", "", "write the final solution as JSON")
 		validate    = fs.Bool("validate", false, "packet-level replay of the solved policy (fluid-model check)")
+		ckptDir     = fs.String("checkpoint-dir", "", "snapshot sweep state into this directory at every sweep boundary (in-process mode)")
+		ckptRetain  = fs.Int("checkpoint-retain", 3, "how many snapshots -checkpoint-dir keeps (0 keeps all)")
+		resume      = fs.Bool("resume", false, "continue from the newest snapshot in -checkpoint-dir instead of starting cold")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		// Checkpointing covers the in-process coordinator; the chaos runner
+		// manages its own store for bscrash recovery, and the remaining modes
+		// have no resume path.
+		switch {
+		case *chaosSpec != "":
+			return fmt.Errorf("-checkpoint-dir is not supported with -chaos (bscrash schedules auto-install an in-memory store)")
+		case *distributed:
+			return fmt.Errorf("-checkpoint-dir is not supported with -distributed")
+		case *regions > 1:
+			return fmt.Errorf("-checkpoint-dir is not supported with -regions")
+		case *jacobi:
+			return fmt.Errorf("-checkpoint-dir is not supported with -jacobi")
+		case *restarts > 0:
+			return fmt.Errorf("-checkpoint-dir is not supported with -restarts")
+		}
 	}
 
 	var inst *model.Instance
@@ -175,15 +200,39 @@ func run(args []string) error {
 		cfg.Privacy = privacy(0)
 		cfg.Restarts = *restarts
 		cfg.RestartSeed = *seed
+		var store *model.CheckpointStore
+		if *ckptDir != "" {
+			store, err = model.NewCheckpointStore(*ckptDir, *ckptRetain)
+			if err != nil {
+				return err
+			}
+			// A checkpointed private run needs a seekable noise source: the
+			// snapshot records the stream position so a resumed run replays
+			// the identical noise (a bare *rand.Rand has no position).
+			if cfg.Privacy != nil {
+				cfg.Privacy.Rng = nil
+				cfg.Privacy.Noise = core.NewNoiseSource(*seed * 1000)
+			}
+			cfg.Checkpoint = &core.CheckpointConfig{Sink: store, EverySweeps: 1}
+		}
 		var coord *core.Coordinator
 		coord, err = core.NewCoordinator(inst, cfg)
 		if err != nil {
 			return err
 		}
-		if *jacobi {
+		switch {
+		case *jacobi:
 			mode = "asynchronous Jacobi rounds"
 			res, err = coord.RunJacobi()
-		} else {
+		case *resume:
+			mode = "in-process coordinator (resumed)"
+			ck, lerr := store.Latest()
+			if lerr != nil {
+				return fmt.Errorf("resume from %s: %w", *ckptDir, lerr)
+			}
+			fmt.Printf("resuming from checkpoint at sweep %d phase %d\n\n", ck.Sweep, ck.Phase)
+			res, err = coord.Resume(ck)
+		default:
 			res, err = coord.Run()
 		}
 	}

@@ -39,6 +39,17 @@ const (
 	// OpLinkFaults replaces the drop/dup/reorder/delay configuration of
 	// the SBS's link (SBS == -1 targets every link including the BS's).
 	OpLinkFaults
+	// OpBSCrash kills the BS coordinator mid-run (SBS must be -1). The run
+	// recovers only if an OpBSRestart is scheduled and the BS was
+	// checkpointing (the runner installs an in-memory checkpoint store
+	// automatically when the schedule contains a BS crash).
+	OpBSCrash
+	// OpBSRestart brings the BS back after an OpBSCrash, resuming from the
+	// newest checkpoint (or cold from sweep 0 if none was captured yet).
+	// Protocol time is frozen while the BS is down, so the event's trigger
+	// point is nominal: it is consumed when the crash happens, not fired
+	// at a protocol point.
+	OpBSRestart
 )
 
 // String names the operation.
@@ -54,6 +65,10 @@ func (o Op) String() string {
 		return "heal"
 	case OpLinkFaults:
 		return "link-faults"
+	case OpBSCrash:
+		return "bs-crash"
+	case OpBSRestart:
+		return "bs-restart"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -64,8 +79,8 @@ func (o Op) String() string {
 type Event struct {
 	// Sweep and Phase locate the trigger point in protocol time.
 	Sweep, Phase int
-	// SBS is the target SBS index; -1 is allowed only for OpLinkFaults
-	// and means every link (including the BS's outbound link).
+	// SBS is the target SBS index; -1 means every link for OpLinkFaults
+	// and is required for the coordinator-targeting OpBSCrash/OpBSRestart.
 	SBS int
 	// Op selects the fault operation.
 	Op Op
@@ -122,6 +137,10 @@ func (s Schedule) Validate(n int) error {
 			}
 			if err := ev.Faults.Validate(); err != nil {
 				return fmt.Errorf("chaos: event %d (%s): %w", i, ev, err)
+			}
+		case OpBSCrash, OpBSRestart:
+			if ev.SBS != -1 {
+				return fmt.Errorf("chaos: event %d (%s): BS ops target the coordinator; SBS must be -1", i, ev)
 			}
 		default:
 			return fmt.Errorf("chaos: event %d: unknown op %v", i, ev.Op)

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -59,6 +60,17 @@ type runner struct {
 	slots       []*sbsSlot
 	bsLink      *link
 	partitioned map[string]bool
+
+	// BS lifecycle: bsCancel kills the current BS incarnation (OpBSCrash),
+	// bsCrashed distinguishes a scheduled crash from a genuine run error,
+	// bsRestarts queues the scheduled recoveries (consumed on crash, not
+	// fired at a protocol point — protocol time is frozen while the BS is
+	// down) and bsFaults tracks the BS link's current fault configuration
+	// so a restarted incarnation inherits it.
+	bsCancel   context.CancelFunc
+	bsCrashed  bool
+	bsRestarts []Event
+	bsFaults   transport.FaultConfig
 }
 
 // sbsSlot tracks one SBS position: its current agent (if alive), link and
@@ -94,24 +106,18 @@ func Run(ctx context.Context, inst *model.Instance, cfg Config) (*core.RunResult
 		hub:         transport.NewHub(),
 		counter:     &sim.EventCounter{},
 		baseCtx:     agentCtx,
-		pending:     cfg.Schedule.sortedEvents(),
 		partitioned: make(map[string]bool),
+		bsFaults:    cfg.Schedule.Links,
 	}
-
-	rawBS, err := r.hub.Register(bsName, 8*inst.N+8)
-	if err != nil {
-		return nil, nil, err
+	// BS restarts are consumed by the incarnation loop below, not fired at
+	// a protocol point, so they live in their own queue.
+	for _, ev := range cfg.Schedule.sortedEvents() {
+		if ev.Op == OpBSRestart {
+			r.bsRestarts = append(r.bsRestarts, ev)
+		} else {
+			r.pending = append(r.pending, ev)
+		}
 	}
-	r.bsLink, err = newLink(rawBS, cfg.Schedule.Links, r.linkSeed(-1, 0))
-	if err != nil {
-		return nil, nil, err
-	}
-	relBS, err := transport.NewReliableEndpoint(r.bsLink, transport.RetryPolicy{Seed: cfg.Schedule.Seed})
-	if err != nil {
-		return nil, nil, err
-	}
-	bsEp := &controller{r: r, inner: relBS}
-	defer bsEp.Close()
 
 	sbsNames := make([]string, inst.N)
 	for n := 0; n < inst.N; n++ {
@@ -125,12 +131,113 @@ func Run(ctx context.Context, inst *model.Instance, cfg Config) (*core.RunResult
 
 	bsCfg := cfg.BS
 	bsCfg.OnEvent = sim.MultiHook(cfg.BS.OnEvent, r.counter.Hook())
-	bs, err := sim.NewBSAgent(inst, bsCfg, bsEp, sbsNames)
-	if err != nil {
-		return nil, nil, err
+	// A schedule that crashes the BS needs somewhere to recover from:
+	// default to an in-memory store snapshotting every sweep boundary.
+	if bsCfg.Checkpoint == nil && hasBSCrash(cfg.Schedule) {
+		bsCfg.Checkpoint = &core.CheckpointConfig{Sink: model.NewMemCheckpointStore(0), EverySweeps: 1}
 	}
 
-	res, runErr := bs.Run(ctx)
+	// startBS brings up one BS endpoint incarnation. Each gets disjoint
+	// sequence numbers (AdvanceSeq) so the SBS-side dedup windows do not
+	// discard the restarted coordinator's first messages as duplicates.
+	var bsEp *controller
+	startBS := func(gen int) error {
+		rawBS, err := r.hub.Register(bsName, 8*inst.N+8)
+		if err != nil {
+			return fmt.Errorf("chaos: start BS generation %d: %w", gen, err)
+		}
+		r.mu.Lock()
+		faults := r.bsFaults
+		r.mu.Unlock()
+		lk, err := newLink(rawBS, faults, r.linkSeed(-1, gen))
+		if err != nil {
+			return err
+		}
+		rel, err := transport.NewReliableEndpoint(lk, transport.RetryPolicy{Seed: cfg.Schedule.Seed + int64(gen)})
+		if err != nil {
+			return err
+		}
+		rel.AdvanceSeq(uint64(gen) << 20)
+		r.mu.Lock()
+		r.bsLink = lk
+		r.mu.Unlock()
+		bsEp = &controller{r: r, inner: rel}
+		return nil
+	}
+	if err := startBS(0); err != nil {
+		return nil, nil, err
+	}
+	defer func() { bsEp.Close() }()
+
+	// The BS incarnation loop: run (or resume) the coordinator until it
+	// finishes, fails for real, or is crashed by the schedule; a scheduled
+	// crash with a queued restart recovers from the newest checkpoint.
+	var (
+		res    *core.RunResult
+		runErr error
+		ck     *model.Checkpoint
+	)
+	for gen := 0; ; gen++ {
+		bs, err := sim.NewBSAgent(inst, bsCfg, bsEp, sbsNames)
+		if err != nil {
+			return nil, nil, err
+		}
+		bsCtx, bsCancel := context.WithCancel(ctx)
+		r.mu.Lock()
+		r.bsCancel = bsCancel
+		r.bsCrashed = false
+		r.mu.Unlock()
+		if ck != nil {
+			res, runErr = bs.Resume(bsCtx, ck)
+		} else {
+			res, runErr = bs.Run(bsCtx)
+		}
+		bsCancel()
+		r.mu.Lock()
+		crashed := r.bsCrashed
+		haveRestart := len(r.bsRestarts) > 0
+		var restart Event
+		if crashed && haveRestart {
+			restart = r.bsRestarts[0]
+			r.bsRestarts = r.bsRestarts[1:]
+		}
+		r.mu.Unlock()
+		if !crashed || ctx.Err() != nil {
+			break
+		}
+		if !haveRestart {
+			runErr = fmt.Errorf("chaos: BS crashed with no scheduled restart: %w", runErr)
+			break
+		}
+		// Tear down the dead incarnation (unregisters the BS name) and
+		// recover from the newest decodable checkpoint; none means the
+		// crash predates the first sweep boundary and the BS starts cold.
+		bsEp.Close()
+		if err := startBS(gen + 1); err != nil {
+			return nil, nil, err
+		}
+		ck = nil
+		if bsCfg.Checkpoint != nil {
+			if src, ok := bsCfg.Checkpoint.Sink.(model.CheckpointSource); ok {
+				c, err := src.Latest()
+				switch {
+				case err == nil:
+					ck = c
+				case errors.Is(err, model.ErrNoCheckpoint):
+				default:
+					return nil, nil, fmt.Errorf("chaos: recover checkpoint: %w", err)
+				}
+			}
+		}
+		at := 0
+		if ck != nil {
+			at = ck.Sweep
+		}
+		r.mu.Lock()
+		r.fired = append(r.fired, FiredEvent{Event: restart, AtSweep: at, AtPhase: 0})
+		r.mu.Unlock()
+	}
+
 	cancelAgents()
 	done := make(chan struct{})
 	go func() { r.wg.Wait(); close(done) }()
@@ -139,11 +246,25 @@ func Run(ctx context.Context, inst *model.Instance, cfg Config) (*core.RunResult
 	case <-time.After(5 * time.Second):
 		return nil, nil, fmt.Errorf("chaos: SBS agents failed to stop")
 	}
+	return res, r.report(), runErr
+}
 
+// hasBSCrash reports whether the schedule contains an OpBSCrash.
+func hasBSCrash(s Schedule) bool {
+	for _, ev := range s.Events {
+		if ev.Op == OpBSCrash {
+			return true
+		}
+	}
+	return false
+}
+
+// report assembles the final chaos report.
+func (r *runner) report() *Report {
 	r.mu.Lock()
-	report := &Report{Fired: r.fired, Unfired: r.pending, Counter: r.counter}
-	r.mu.Unlock()
-	return res, report, runErr
+	defer r.mu.Unlock()
+	unfired := append(append([]Event(nil), r.pending...), r.bsRestarts...)
+	return &Report{Fired: r.fired, Unfired: unfired, Counter: r.counter}
 }
 
 // linkSeed derives a deterministic per-link, per-generation seed (-1 is
@@ -270,9 +391,26 @@ func (r *runner) apply(ev Event) {
 		if lk != nil {
 			lk.setCut(false)
 		}
+	case OpBSCrash:
+		// Cancel the current BS incarnation's context; its Run returns an
+		// error and the incarnation loop decides whether a restart is due.
+		r.mu.Lock()
+		cancel := r.bsCancel
+		r.bsCrashed = true
+		r.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	case OpBSRestart:
+		// Never reaches apply: restarts live in their own queue and are
+		// consumed by the incarnation loop after a crash.
 	case OpLinkFaults:
 		if ev.SBS == -1 {
-			_ = r.bsLink.setFaults(ev.Faults, r.linkSeed(-1, 1))
+			r.mu.Lock()
+			r.bsFaults = ev.Faults
+			bsLink := r.bsLink
+			r.mu.Unlock()
+			_ = bsLink.setFaults(ev.Faults, r.linkSeed(-1, 1))
 			r.mu.Lock()
 			slots := append([]*sbsSlot(nil), r.slots...)
 			r.mu.Unlock()

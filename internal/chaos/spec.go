@@ -19,9 +19,15 @@ import (
 //	                it K sweeps later
 //	partition=S@W[+D]  cut SBS S's link at sweep W; with +D, heal it D
 //	                   phases later (otherwise the cut is permanent)
+//	bscrash=W[+K]   crash the BS coordinator at sweep W; with +K, schedule
+//	                the recovery restart (the restart is consumed when the
+//	                crash happens — protocol time is frozen while the BS is
+//	                down, so K is nominal)
+//	bsrestart=W     schedule a BS restart on its own (nominal sweep W)
 //
 // Example: "seed=7,drop=0.3,crash=1@2+3" drops 30% of all traffic and
-// crashes SBS 1 for sweeps 2..4.
+// crashes SBS 1 for sweeps 2..4. "bscrash=2+1,drop=0.3" kills the BS at
+// sweep 2 and resumes it from its newest checkpoint.
 func ParseSpec(spec string) (Schedule, error) {
 	s := Schedule{Seed: 1}
 	for _, item := range strings.Split(spec, ",") {
@@ -62,6 +68,23 @@ func ParseSpec(spec string) (Schedule, error) {
 				break
 			}
 			s.Events = append(s.Events, Event{Sweep: sweep, SBS: sbs, Op: OpPartition, Phases: dur})
+		case "bscrash":
+			var sweep, dur int
+			sweep, dur, err = parseSweep(val)
+			if err != nil {
+				break
+			}
+			s.Events = append(s.Events, Event{Sweep: sweep, SBS: -1, Op: OpBSCrash})
+			if dur > 0 {
+				s.Events = append(s.Events, Event{Sweep: sweep + dur, SBS: -1, Op: OpBSRestart})
+			}
+		case "bsrestart":
+			var sweep int
+			sweep, _, err = parseSweep(val)
+			if err != nil {
+				break
+			}
+			s.Events = append(s.Events, Event{Sweep: sweep, SBS: -1, Op: OpBSRestart})
 		default:
 			return Schedule{}, fmt.Errorf("chaos: unknown directive %q", key)
 		}
@@ -82,6 +105,23 @@ func parseProb(val string) (float64, error) {
 		return 0, fmt.Errorf("probability %v outside [0, 1]", p)
 	}
 	return p, nil
+}
+
+// parseSweep parses "SWEEP" or "SWEEP+DUR".
+func parseSweep(val string) (sweep, dur int, err error) {
+	when, tail, hasDur := strings.Cut(val, "+")
+	if sweep, err = strconv.Atoi(when); err != nil {
+		return 0, 0, err
+	}
+	if hasDur {
+		if dur, err = strconv.Atoi(tail); err != nil {
+			return 0, 0, err
+		}
+		if dur <= 0 {
+			return 0, 0, fmt.Errorf("duration must be positive, got %d", dur)
+		}
+	}
+	return sweep, dur, nil
 }
 
 // parseTarget parses "SBS@SWEEP" or "SBS@SWEEP+DUR".

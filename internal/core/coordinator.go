@@ -55,8 +55,13 @@ type PrivacyConfig struct {
 	// [0,1], so the default (0 → 1) is the worst-case L1 change from one
 	// SBS altering one routing entry.
 	Sensitivity float64
-	// Rng drives the noise. Required.
+	// Rng drives the noise. Either Rng or Noise is required.
 	Rng *rand.Rand
+	// Noise, when non-nil, supplies the Rng from a draw-counting, seekable
+	// source (NewLPPM wires it up) so the noise stream's position can be
+	// captured in a checkpoint and restored on resume. Required when
+	// checkpointing a private run; ignored if Rng is also set.
+	Noise *NoiseSource
 	// Accountant optionally records every ε spend, labeled per SBS.
 	Accountant *dp.Accountant
 	// Mechanism selects the noise family; the zero value is the paper's
@@ -77,8 +82,8 @@ func (p *PrivacyConfig) validate() error {
 	if p.Sensitivity < 0 {
 		return fmt.Errorf("core: privacy sensitivity must be non-negative, got %v", p.Sensitivity)
 	}
-	if p.Rng == nil {
-		return fmt.Errorf("core: privacy config requires an Rng")
+	if p.Rng == nil && p.Noise == nil {
+		return fmt.Errorf("core: privacy config requires an Rng or a Noise source")
 	}
 	switch p.Mechanism {
 	case MechanismLaplace, MechanismUniform:
@@ -132,6 +137,13 @@ type Config struct {
 	// the tap owns them.
 	UploadTap func(sweep, phase int, clean, upload [][]float64)
 
+	// Checkpoint, when non-nil, snapshots the full sweep state to the
+	// configured sink so a crashed run can be resumed bit-identically (see
+	// Coordinator.Resume). Incompatible with Restarts > 0 (a snapshot
+	// records one trajectory) and, when Privacy is set, requires
+	// Privacy.Noise (a bare *rand.Rand has no capturable position).
+	Checkpoint *CheckpointConfig
+
 	// Restarts is an extension beyond the paper: because the no-overserve
 	// constraint (4) couples the SBS blocks, the Gauss-Seidel sweep can
 	// settle in an order-dependent equilibrium (see DESIGN.md and
@@ -143,6 +155,18 @@ type Config struct {
 	Restarts int
 	// RestartSeed seeds the order shuffling for Restarts > 0.
 	RestartSeed int64
+}
+
+// CheckpointConfig tunes snapshot capture.
+type CheckpointConfig struct {
+	// Sink receives every snapshot. Required.
+	Sink model.CheckpointSink
+	// EverySweeps is the sweep-boundary capture cadence; 0 means every
+	// sweep.
+	EverySweeps int
+	// EachPhase additionally captures after every phase inside a sweep, so
+	// a resume can continue mid-sweep. More snapshots, same guarantee.
+	EachPhase bool
 }
 
 // DefaultConfig returns the configuration used by the experiment harness.
@@ -235,6 +259,17 @@ func NewCoordinator(inst *model.Instance, cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if ck := cfg.Checkpoint; ck != nil {
+		if ck.Sink == nil {
+			return nil, fmt.Errorf("core: checkpoint config requires a sink")
+		}
+		if cfg.Restarts > 0 {
+			return nil, fmt.Errorf("core: checkpointing is incompatible with Restarts > 0: a snapshot records a single trajectory")
+		}
+		if cfg.Privacy != nil && (cfg.Privacy.Noise == nil || cfg.Privacy.Rng != nil) {
+			return nil, fmt.Errorf("core: checkpointing a private run requires Privacy.Noise alone (a seekable noise source); a bare Rng has no capturable position")
+		}
+	}
 	c := &Coordinator{inst: inst, cfg: cfg}
 	if cfg.Privacy != nil {
 		lppm, err := NewLPPM(*cfg.Privacy)
@@ -282,8 +317,101 @@ func (c *Coordinator) Run() (*RunResult, error) {
 	return best, nil
 }
 
+// sweepState is everything the sweep loop carries between phases — the
+// live counterpart of a model.Checkpoint. newState builds the iteration-
+// zero state; Resume rebuilds one from a snapshot.
+type sweepState struct {
+	order []int
+	// sweep and phase are the NEXT point to execute: order position phase
+	// of sweep sweep.
+	sweep, phase int
+	x            *model.CachingPolicy
+	y            *model.RoutingPolicy // BS view: uploaded (noised) policies
+	tracker      *model.AggregateTracker
+	history      []float64
+	prevCost     float64
+	best         *model.Solution
+}
+
+// newState returns the all-zero initial state for one run.
+func (c *Coordinator) newState(order []int) *sweepState {
+	return &sweepState{
+		order: order,
+		x:     model.NewCachingPolicy(c.inst),
+		y:     model.NewRoutingPolicy(c.inst),
+		// The BS maintains the masked aggregate Σ_n y·l incrementally:
+		// each phase derives y_{-n} in O(U·F) (subtract SBS n's block) and
+		// advances the aggregate from the fresh upload, replacing the
+		// O(N·U·F) AggregateExcept rebuild the seed implementation
+		// performed per phase.
+		tracker:  model.NewAggregateTracker(c.inst),
+		prevCost: math.Inf(1),
+	}
+}
+
 // runOnce executes one full Algorithm 1 run with the given per-sweep SBS
 // update order.
+func (c *Coordinator) runOnce(order []int) (*RunResult, error) {
+	return c.runFrom(c.newState(order))
+}
+
+// Resume continues a run from a snapshot. The resumed trajectory — cost
+// history, final cost and policies — is bit-identical to the uninterrupted
+// run's, because the solver is deterministic, the snapshot carries the
+// tracker's exact running sums, and (with privacy) the noise stream is
+// repositioned to the recorded draw count. The coordinator must be built
+// with the same instance and configuration as the crashed run.
+func (c *Coordinator) Resume(ck *model.Checkpoint) (*RunResult, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("core: nil checkpoint")
+	}
+	if err := ck.Validate(c.inst); err != nil {
+		return nil, err
+	}
+	if c.cfg.Restarts > 0 {
+		return nil, fmt.Errorf("core: cannot resume with Restarts > 0: a snapshot records a single trajectory")
+	}
+	if ck.HasNoise != (c.lppm != nil) {
+		return nil, fmt.Errorf("core: checkpoint privacy state (LPPM=%v) does not match configuration (LPPM=%v)",
+			ck.HasNoise, c.lppm != nil)
+	}
+	if c.lppm != nil {
+		noise := c.cfg.Privacy.Noise
+		if noise == nil {
+			return nil, fmt.Errorf("core: resuming a private run requires Privacy.Noise")
+		}
+		if noise.SeedValue() != ck.NoiseSeed {
+			return nil, fmt.Errorf("core: noise seed %d does not match checkpoint seed %d", noise.SeedValue(), ck.NoiseSeed)
+		}
+		noise.SeekTo(ck.NoiseDraws)
+	}
+	// μ restoration is diagnostic (Solve cold-starts the dual loop), but
+	// it keeps the workspace byte-equal to the crashed process's.
+	for n, mu := range ck.Mu {
+		if len(mu) == 0 {
+			continue
+		}
+		if err := c.subs[n].RestoreMultipliers(mu); err != nil {
+			return nil, err
+		}
+	}
+	st := &sweepState{
+		order:    append([]int(nil), ck.Order...),
+		sweep:    ck.Sweep,
+		phase:    ck.Phase,
+		x:        ck.Caching.Clone(),
+		y:        ck.Routing.Clone(),
+		tracker:  model.NewAggregateTracker(c.inst),
+		history:  append([]float64(nil), ck.History...),
+		prevCost: ck.PrevCost,
+		best:     ck.Best.Clone(),
+	}
+	st.tracker.Restore(ck.Aggregate)
+	return c.runFrom(st)
+}
+
+// runFrom drives Algorithm 1 from st (iteration zero or a resumed
+// snapshot) to completion.
 //
 // The BS evaluates the uploaded aggregate after every sweep anyway
 // (Algorithm 1's stop rule needs f(y(τ))), so it retains the cheapest
@@ -292,23 +420,25 @@ func (c *Coordinator) Run() (*RunResult, error) {
 // noise redraws can drift the trajectory (SBSs start duplicating demand
 // their peers under-report), and keeping the best sweep is the natural
 // BS-side behaviour.
-func (c *Coordinator) runOnce(order []int) (*RunResult, error) {
+func (c *Coordinator) runFrom(st *sweepState) (*RunResult, error) {
 	inst := c.inst
-	x := model.NewCachingPolicy(inst)
-	y := model.NewRoutingPolicy(inst) // BS view: uploaded (noised) policies
-
-	// The BS maintains the masked aggregate Σ_n y·l incrementally: each
-	// phase derives y_{-n} in O(U·F) (subtract SBS n's block) and advances
-	// the aggregate from the fresh upload, replacing the O(N·U·F)
-	// AggregateExcept rebuild the seed implementation performed per phase.
-	tracker := model.NewAggregateTracker(inst)
+	x, y, tracker := st.x, st.y, st.tracker
 	yMinus := inst.NewUFMat()
 
-	res := &RunResult{}
-	var best *model.Solution
-	prevCost := math.Inf(1)
-	for sweep := 0; sweep < c.cfg.MaxSweeps; sweep++ {
-		for _, n := range order {
+	res := &RunResult{History: st.history, Sweeps: len(st.history)}
+	ckpt := c.cfg.Checkpoint
+	every := 1
+	if ckpt != nil && ckpt.EverySweeps > 0 {
+		every = ckpt.EverySweeps
+	}
+
+	for sweep := st.sweep; sweep < c.cfg.MaxSweeps; sweep++ {
+		first := 0
+		if sweep == st.sweep {
+			first = st.phase
+		}
+		for pi := first; pi < len(st.order); pi++ {
+			n := st.order[pi]
 			// The BS broadcasts the aggregate routing; SBS n subtracts its
 			// own last upload to obtain y_{-n} (eq. 25).
 			tracker.YMinusInto(inst, y, n, yMinus)
@@ -331,29 +461,68 @@ func (c *Coordinator) runOnce(order []int) (*RunResult, error) {
 			}
 			x.SetRow(n, sub.Cache)
 			tracker.Install(inst, y, n, yMinus, upload)
+			if ckpt != nil && ckpt.EachPhase && pi+1 < len(st.order) {
+				if err := c.snapshot(ckpt.Sink, st, res, sweep, pi+1); err != nil {
+					return nil, err
+				}
+			}
 		}
 		cost := model.TotalServingCostFromAggregate(inst, y, tracker.Aggregate())
 		res.History = append(res.History, cost.Total)
 		res.Sweeps = sweep + 1
-		if best == nil || cost.Total < best.Cost.Total {
-			best = &model.Solution{Caching: x.Clone(), Routing: y.Clone(), Cost: cost}
+		if st.best == nil || cost.Total < st.best.Cost.Total {
+			st.best = &model.Solution{Caching: x.Clone(), Routing: y.Clone(), Cost: cost}
 		}
 
 		// Algorithm 1's stop rule: relative improvement below γ. The
 		// absolute value guards against noise-induced oscillation under
 		// LPPM (Theorem 3 guarantees convergence of the underlying
 		// sequence, but individual sweeps can regress slightly).
-		if cost.Total > 0 && math.Abs(prevCost-cost.Total)/cost.Total <= c.cfg.Gamma {
+		if cost.Total > 0 && math.Abs(st.prevCost-cost.Total)/cost.Total <= c.cfg.Gamma {
 			res.Converged = true
-			prevCost = cost.Total
+			st.prevCost = cost.Total
 			break
 		}
-		prevCost = cost.Total
+		st.prevCost = cost.Total
+		if ckpt != nil && (sweep+1)%every == 0 {
+			if err := c.snapshot(ckpt.Sink, st, res, sweep+1, 0); err != nil {
+				return nil, err
+			}
+		}
 	}
 
-	if best == nil { // MaxSweeps == 0 cannot happen after withDefaults, but stay safe
-		best = &model.Solution{Caching: x, Routing: y, Cost: model.TotalServingCost(inst, y)}
+	if st.best == nil { // MaxSweeps == 0 cannot happen after withDefaults, but stay safe
+		st.best = &model.Solution{Caching: x, Routing: y, Cost: model.TotalServingCost(inst, y)}
 	}
-	res.Solution = best
+	res.Solution = st.best
 	return res, nil
+}
+
+// snapshot captures the current sweep state as of resume point
+// (sweep, phase) and hands it to the sink.
+func (c *Coordinator) snapshot(sink model.CheckpointSink, st *sweepState, res *RunResult, sweep, phase int) error {
+	ck := &model.Checkpoint{
+		Sweep:      sweep,
+		Phase:      phase,
+		Order:      append([]int(nil), st.order...),
+		Caching:    st.x.Clone(),
+		Routing:    st.y.Clone(),
+		Aggregate:  st.tracker.Aggregate().Clone(),
+		History:    append([]float64(nil), res.History...),
+		PrevCost:   st.prevCost,
+		Best:       st.best.Clone(),
+		Mu:         make([][]float64, c.inst.N),
+		InstanceFP: c.inst.Fingerprint(),
+	}
+	for n, sub := range c.subs {
+		ck.Mu[n] = sub.Multipliers()
+	}
+	if c.lppm != nil {
+		ck.HasNoise = true
+		ck.NoiseSeed, ck.NoiseDraws = c.cfg.Privacy.Noise.Pos()
+	}
+	if err := sink.Save(ck); err != nil {
+		return fmt.Errorf("core: checkpoint at sweep %d phase %d: %w", sweep, phase, err)
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 
 	"edgecache/internal/dp"
 	"edgecache/internal/model"
@@ -24,8 +25,13 @@ type LPPM struct {
 	sigma float64 // Gaussian scale (MechanismGaussian)
 }
 
-// NewLPPM validates the configuration and calibrates the noise scale.
+// NewLPPM validates the configuration and calibrates the noise scale. When
+// only a seekable Noise source is configured, the Rng is derived from it,
+// so every draw advances the countable position.
 func NewLPPM(cfg PrivacyConfig) (*LPPM, error) {
+	if cfg.Rng == nil && cfg.Noise != nil {
+		cfg.Rng = rand.New(cfg.Noise)
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,65 @@
+package core
+
+import "math/rand"
+
+// NoiseSource is a seeded rand.Source that counts every draw, making the
+// LPPM noise stream's position part of the checkpointable state: a resumed
+// run reconstructs the exact stream by replaying Pos() draws from the seed
+// (SeekTo), so crash-resume stays bit-identical even with privacy on.
+//
+// It deliberately implements ONLY rand.Source, not rand.Source64. The
+// stdlib's internal source consumes TWO Int63 state steps per Uint64, so a
+// counting Source64 would not see every state advance; without Uint64,
+// every rand.Rand consumption path (Float64, NormFloat64, ExpFloat64, ...)
+// funnels through the counted Int63, and (seed, draws) is a complete
+// stream position.
+//
+// A NoiseSource is not safe for concurrent use, matching *rand.Rand.
+type NoiseSource struct {
+	seed  int64
+	draws uint64
+	src   rand.Source
+}
+
+var _ rand.Source = (*NoiseSource)(nil)
+
+// NewNoiseSource returns a counting source at draw position zero.
+func NewNoiseSource(seed int64) *NoiseSource {
+	return &NoiseSource{seed: seed, src: rand.NewSource(seed)}
+}
+
+// Int63 implements rand.Source, counting the draw.
+func (s *NoiseSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Seed implements rand.Source, restarting the stream at the new seed.
+func (s *NoiseSource) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src = rand.NewSource(seed)
+}
+
+// Pos returns the stream identity: the seed and the number of Int63 draws
+// consumed so far.
+func (s *NoiseSource) Pos() (seed int64, draws uint64) {
+	return s.seed, s.draws
+}
+
+// SeedValue returns the seed the stream was started from.
+func (s *NoiseSource) SeedValue() int64 { return s.seed }
+
+// SeekTo repositions the stream exactly draws draws past the seed,
+// rewinding (re-seeding and replaying) when the target is behind the
+// current position.
+func (s *NoiseSource) SeekTo(draws uint64) {
+	if draws < s.draws {
+		s.src = rand.NewSource(s.seed)
+		s.draws = 0
+	}
+	for s.draws < draws {
+		s.draws++
+		s.src.Int63()
+	}
+}

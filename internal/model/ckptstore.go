@@ -1,0 +1,249 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CheckpointSink receives snapshots as the run progresses. Save must keep
+// the previously saved snapshots recoverable until the new one is durable
+// (write-then-rename for the file store).
+type CheckpointSink interface {
+	Save(*Checkpoint) error
+}
+
+// CheckpointSource hands back the newest recoverable snapshot. Stores that
+// can both save and load (the file store, the in-memory store) implement
+// both interfaces.
+type CheckpointSource interface {
+	// Latest returns the newest decodable snapshot, or ErrNoCheckpoint
+	// when the store is empty.
+	Latest() (*Checkpoint, error)
+}
+
+// ErrNoCheckpoint is returned by Latest when no snapshot is available.
+var ErrNoCheckpoint = errors.New("model: no checkpoint available")
+
+const checkpointExt = ".ckpt"
+
+// CheckpointStore persists snapshots as files in one directory. Writes are
+// atomic (temp file, fsync, rename), so a crash mid-save never corrupts an
+// existing snapshot; retention prunes all but the newest files. The store
+// assumes a single writer (the coordinator process).
+type CheckpointStore struct {
+	dir    string
+	retain int
+}
+
+var (
+	_ CheckpointSink   = (*CheckpointStore)(nil)
+	_ CheckpointSource = (*CheckpointStore)(nil)
+)
+
+// NewCheckpointStore opens (creating if needed) a snapshot directory.
+// retain bounds the number of kept snapshots; 0 means the default (5).
+func NewCheckpointStore(dir string, retain int) (*CheckpointStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("model: checkpoint store needs a directory")
+	}
+	if retain <= 0 {
+		retain = 5
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("model: checkpoint store: %w", err)
+	}
+	return &CheckpointStore{dir: dir, retain: retain}, nil
+}
+
+// Dir returns the store's directory.
+func (s *CheckpointStore) Dir() string { return s.dir }
+
+// fileName renders the canonical snapshot name; zero-padding makes the
+// lexicographic order the chronological order.
+func fileName(sweep, phase int) string {
+	return fmt.Sprintf("ckpt-%08d-%04d%s", sweep, phase, checkpointExt)
+}
+
+// Save implements CheckpointSink with write-then-rename atomicity: the
+// snapshot becomes visible under its final name only after the bytes are
+// durably on disk, so readers (and post-crash recovery) only ever see
+// complete files.
+func (s *CheckpointStore) Save(ck *Checkpoint) error {
+	data, err := ck.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(s.dir, fileName(ck.Sweep, ck.Phase))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("model: checkpoint store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("model: checkpoint store: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("model: checkpoint store: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("model: checkpoint store: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("model: checkpoint store: rename %s: %w", tmp, err)
+	}
+	return s.prune()
+}
+
+// List returns the stored snapshot file names, oldest first.
+func (s *CheckpointStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("model: checkpoint store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), checkpointExt) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Latest implements CheckpointSource. A corrupted newest file (e.g. torn
+// by a crash on a filesystem without rename atomicity) is skipped in favor
+// of the next older decodable one; the collected decode errors are
+// reported when nothing is recoverable.
+func (s *CheckpointStore) Latest() (*Checkpoint, error) {
+	names, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	var decodeErrs []error
+	for i := len(names) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(s.dir, names[i]))
+		if err != nil {
+			decodeErrs = append(decodeErrs, err)
+			continue
+		}
+		ck, err := UnmarshalCheckpoint(data)
+		if err != nil {
+			decodeErrs = append(decodeErrs, fmt.Errorf("%s: %w", names[i], err))
+			continue
+		}
+		return ck, nil
+	}
+	if len(decodeErrs) > 0 {
+		return nil, fmt.Errorf("model: checkpoint store: no recoverable snapshot: %w", errors.Join(decodeErrs...))
+	}
+	return nil, ErrNoCheckpoint
+}
+
+// prune removes stale temp files and all but the newest retain snapshots.
+func (s *CheckpointStore) prune() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("model: checkpoint store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, checkpointExt+".tmp") {
+			// A leftover temp file is by definition incomplete (a finished
+			// write is renamed away immediately); single-writer contract
+			// makes removal safe.
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if strings.HasSuffix(name, checkpointExt) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for len(names) > s.retain {
+		if err := os.Remove(filepath.Join(s.dir, names[0])); err != nil {
+			return fmt.Errorf("model: checkpoint store: prune: %w", err)
+		}
+		names = names[1:]
+	}
+	return nil
+}
+
+// MemCheckpointStore keeps snapshots in memory — the sink used by tests
+// and by the chaos harness, where durability across processes is not the
+// point but crash-resume semantics are. Save round-trips every snapshot
+// through the binary codec, so the stored copies are fully isolated from
+// the live run AND the codec is exercised on every capture.
+type MemCheckpointStore struct {
+	mu      sync.Mutex
+	retain  int
+	entries []*Checkpoint
+}
+
+var (
+	_ CheckpointSink   = (*MemCheckpointStore)(nil)
+	_ CheckpointSource = (*MemCheckpointStore)(nil)
+)
+
+// NewMemCheckpointStore returns an in-memory store keeping the newest
+// retain snapshots (retain <= 0 keeps everything).
+func NewMemCheckpointStore(retain int) *MemCheckpointStore {
+	return &MemCheckpointStore{retain: retain}
+}
+
+// Save implements CheckpointSink.
+func (s *MemCheckpointStore) Save(ck *Checkpoint) error {
+	data, err := ck.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	stored, err := UnmarshalCheckpoint(data)
+	if err != nil {
+		return fmt.Errorf("model: mem checkpoint store: round-trip: %w", err)
+	}
+	s.mu.Lock()
+	s.entries = append(s.entries, stored)
+	if s.retain > 0 && len(s.entries) > s.retain {
+		s.entries = append([]*Checkpoint(nil), s.entries[len(s.entries)-s.retain:]...)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Latest implements CheckpointSource.
+func (s *MemCheckpointStore) Latest() (*Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) == 0 {
+		return nil, ErrNoCheckpoint
+	}
+	return s.entries[len(s.entries)-1], nil
+}
+
+// All returns the stored snapshots in capture order.
+func (s *MemCheckpointStore) All() []*Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Checkpoint(nil), s.entries...)
+}
+
+// Len returns the number of stored snapshots.
+func (s *MemCheckpointStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

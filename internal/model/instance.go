@@ -212,6 +212,57 @@ func (in *Instance) MaxCost() float64 {
 	return sum
 }
 
+// Fingerprint returns a stable 64-bit FNV-1a digest of the instance data.
+// Checkpoints embed it so a snapshot cannot be resumed against a different
+// instance that happens to share the same dimensions — the trajectories
+// would silently diverge instead of failing fast.
+func (in *Instance) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	mixF := func(v float64) { mix(math.Float64bits(v)) }
+	mix(uint64(in.N))
+	mix(uint64(in.U))
+	mix(uint64(in.F))
+	for _, row := range in.Demand {
+		for _, v := range row {
+			mixF(v)
+		}
+	}
+	for _, row := range in.Links {
+		for _, l := range row {
+			if l {
+				mix(1)
+			} else {
+				mix(0)
+			}
+		}
+	}
+	for _, c := range in.CacheCap {
+		mix(uint64(c))
+	}
+	for _, b := range in.Bandwidth {
+		mixF(b)
+	}
+	for _, row := range in.EdgeCost {
+		for _, v := range row {
+			mixF(v)
+		}
+	}
+	for _, v := range in.BSCost {
+		mixF(v)
+	}
+	return h
+}
+
 func cloneMatrix(m [][]float64) [][]float64 {
 	if m == nil {
 		return nil

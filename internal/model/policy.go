@@ -367,6 +367,15 @@ func (t *AggregateTracker) Reset(in *Instance, y *RoutingPolicy) {
 //edgecache:noalloc
 func (t *AggregateTracker) Aggregate() Mat { return t.agg }
 
+// Restore overwrites the tracker with a serialized aggregate (a
+// checkpoint's). Resume must NOT rebuild via Reset: the incremental
+// YMinusInto/Install path accumulates in a different floating-point order
+// than a full rebuild, and the bit-identical resume guarantee requires the
+// exact running sums.
+func (t *AggregateTracker) Restore(src Mat) {
+	t.agg.CopyFrom(src)
+}
+
 // YMinusInto computes y_{-n} = aggregate − SBS n's masked block into dst
 // without allocating. dst is overwritten.
 //
@@ -412,6 +421,14 @@ type Solution struct {
 	Caching *CachingPolicy
 	Routing *RoutingPolicy
 	Cost    CostBreakdown
+}
+
+// Clone returns a deep copy of the solution.
+func (s *Solution) Clone() *Solution {
+	if s == nil {
+		return nil
+	}
+	return &Solution{Caching: s.Caching.Clone(), Routing: s.Routing.Clone(), Cost: s.Cost}
 }
 
 // String summarizes the solution in one line.

@@ -44,6 +44,20 @@ const (
 	// EventSendFailed: a protocol send returned an error (the protocol
 	// continues; the timeout machinery owns recovery).
 	EventSendFailed
+	// EventStateSync: an SBS received a MsgStateSync from a resumed BS and
+	// rehydrated its workspace to the carried resume point.
+	EventStateSync
+	// EventStateSyncMiss: a resumed BS got no MsgStateAck from the SBS
+	// within the handshake window; the protocol continues (the phase
+	// timeout machinery owns recovery), but the miss is observable.
+	EventStateSyncMiss
+	// EventStaleAnnounce: an SBS dropped a MsgPhaseStart older than its
+	// last state-sync point — a pre-crash ghost still in flight.
+	EventStaleAnnounce
+	// EventReplayedUpload: an SBS answered a duplicated announce from its
+	// reply cache instead of re-solving (and, under LPPM, instead of
+	// drawing fresh noise for the same protocol point).
+	EventReplayedUpload
 )
 
 // String names the event kind.
@@ -69,6 +83,14 @@ func (k EventKind) String() string {
 		return "rejoin"
 	case EventSendFailed:
 		return "send-failed"
+	case EventStateSync:
+		return "state-sync"
+	case EventStateSyncMiss:
+		return "state-sync-miss"
+	case EventStaleAnnounce:
+		return "stale-announce"
+	case EventReplayedUpload:
+		return "replayed-upload"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

@@ -63,6 +63,13 @@ type BSConfig struct {
 	// fault-handling actions (see EventKind). Must be fast and non-nil
 	// safe across goroutines.
 	OnEvent EventHook
+	// Checkpoint, when non-nil, snapshots the BS's sweep state (policies,
+	// aggregate, history, per-SBS health and fault accounting) to the
+	// configured sink at sweep boundaries, enabling Resume after a
+	// coordinator crash. EachPhase is ignored: the BS's γ-deferral state
+	// (sweepMissed) is intra-sweep and not captured, so the agent only
+	// checkpoints at boundaries where that state is empty.
+	Checkpoint *core.CheckpointConfig
 }
 
 func (c BSConfig) withDefaults() BSConfig {
@@ -132,6 +139,9 @@ func NewBSAgent(inst *model.Instance, cfg BSConfig, ep transport.Endpoint, sbsNa
 	if len(sbsNames) != inst.N {
 		return nil, fmt.Errorf("sim: %d SBS names for N=%d SBSs", len(sbsNames), inst.N)
 	}
+	if cfg.Checkpoint != nil && cfg.Checkpoint.Sink == nil {
+		return nil, errors.New("sim: checkpoint config requires a sink")
+	}
 	return &BSAgent{inst: inst, cfg: cfg.withDefaults(), ep: ep, sbsNames: sbsNames,
 		health: make([]sbsHealth, inst.N)}, nil
 }
@@ -146,6 +156,39 @@ func (b *BSAgent) event(kind EventKind, sbs, sweep, phase int, err error) {
 // Run drives the full protocol and returns the converged result. SBS
 // agents must be running (or must join before their phase times out).
 func (b *BSAgent) Run(ctx context.Context) (*core.RunResult, error) {
+	return b.run(ctx, nil)
+}
+
+// Resume continues a crashed run from a snapshot: health and fault
+// accounting are restored, live SBS agents are rehydrated with a
+// MsgStateSync handshake, and the sweep loop continues from the recorded
+// boundary. Without LPPM the resumed trajectory is bit-identical to the
+// uninterrupted run's (the SBS solvers are deterministic and the snapshot
+// carries the tracker's exact running sums); with LPPM the SBS agents
+// redraw noise the BS cannot reposition, so only convergence — not
+// bit-equality — is guaranteed.
+func (b *BSAgent) Resume(ctx context.Context, ck *model.Checkpoint) (*core.RunResult, error) {
+	if ck == nil {
+		return nil, errors.New("sim: nil checkpoint")
+	}
+	if err := ck.Validate(b.inst); err != nil {
+		return nil, err
+	}
+	if ck.HasNoise {
+		return nil, errors.New("sim: checkpoint records an in-process noise stream; in the distributed deployment noise lives inside the SBS agents and the BS cannot restore it")
+	}
+	if ck.Phase != 0 {
+		return nil, fmt.Errorf("sim: BS agent resumes at sweep boundaries only, got phase %d", ck.Phase)
+	}
+	for i, v := range ck.Order {
+		if v != i {
+			return nil, fmt.Errorf("sim: BS agent sweeps SBSs in identity order; checkpoint order has %d at position %d", v, i)
+		}
+	}
+	return b.run(ctx, ck)
+}
+
+func (b *BSAgent) run(ctx context.Context, ck *model.Checkpoint) (*core.RunResult, error) {
 	inst := b.inst
 	x := model.NewCachingPolicy(inst)
 	y := model.NewRoutingPolicy(inst)
@@ -160,7 +203,25 @@ func (b *BSAgent) Run(ctx context.Context) (*core.RunResult, error) {
 	res := &core.RunResult{Faults: make([]core.SBSFaultStats, inst.N)}
 	var best *model.Solution
 	prevCost := math.Inf(1)
-	for sweep := 0; sweep < b.cfg.MaxSweeps; sweep++ {
+	startSweep := 0
+	if ck != nil {
+		startSweep = ck.Sweep
+		x = ck.Caching.Clone()
+		y = ck.Routing.Clone()
+		tracker.Restore(ck.Aggregate)
+		res.History = append([]float64(nil), ck.History...)
+		res.Sweeps = len(res.History)
+		prevCost = ck.PrevCost
+		best = ck.Best.Clone()
+		b.restoreHealth(ck.Health, res.Faults)
+		b.stateSync(ctx, ck)
+	}
+	ckpt := b.cfg.Checkpoint
+	every := 1
+	if ckpt != nil && ckpt.EverySweeps > 0 {
+		every = ckpt.EverySweeps
+	}
+	for sweep := startSweep; sweep < b.cfg.MaxSweeps; sweep++ {
 		// sweepMissed records whether a live (non-quarantined) SBS missed
 		// its phase this sweep; a frozen policy makes the cost spuriously
 		// flat, so such sweeps must not satisfy the γ-criterion.
@@ -259,6 +320,14 @@ func (b *BSAgent) Run(ctx context.Context) (*core.RunResult, error) {
 			break
 		}
 		prevCost = cost.Total
+		// Sweep-boundary snapshot. The cadence is anchored at absolute
+		// sweep numbers so a resumed run captures at the same boundaries
+		// as the original.
+		if ckpt != nil && (sweep+1)%every == 0 {
+			if err := b.snapshot(ckpt.Sink, x, y, tracker, res, prevCost, best, sweep+1); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	b.broadcastDone(ctx)
@@ -388,6 +457,140 @@ func (b *BSAgent) broadcastDone(ctx context.Context) {
 	}
 }
 
+// snapshot captures the BS's sweep state as of boundary sweep and hands it
+// to the sink. Unlike core.Coordinator the BS agent also records per-SBS
+// health and fault accounting, so a resumed BS keeps quarantine spans and
+// probe schedules instead of re-learning which SBSs are dead.
+func (b *BSAgent) snapshot(sink model.CheckpointSink, x *model.CachingPolicy, y *model.RoutingPolicy,
+	tracker *model.AggregateTracker, res *core.RunResult, prevCost float64, best *model.Solution, sweep int) error {
+	order := make([]int, b.inst.N)
+	for i := range order {
+		order[i] = i
+	}
+	ck := &model.Checkpoint{
+		Sweep:      sweep,
+		Phase:      0,
+		Order:      order,
+		Caching:    x.Clone(),
+		Routing:    y.Clone(),
+		Aggregate:  tracker.Aggregate().Clone(),
+		History:    append([]float64(nil), res.History...),
+		PrevCost:   prevCost,
+		Best:       best.Clone(),
+		Health:     b.healthSnapshot(res.Faults),
+		InstanceFP: b.inst.Fingerprint(),
+	}
+	if err := sink.Save(ck); err != nil {
+		return fmt.Errorf("sim: checkpoint at sweep %d: %w", sweep, err)
+	}
+	return nil
+}
+
+// healthSnapshot freezes the live per-SBS health records plus the fault
+// accounting into checkpoint form.
+func (b *BSAgent) healthSnapshot(faults []core.SBSFaultStats) []model.SBSHealthState {
+	hs := make([]model.SBSHealthState, len(b.health))
+	for n := range hs {
+		h := b.health[n]
+		f := faults[n]
+		hs[n] = model.SBSHealthState{
+			ConsecMisses:    h.consecMisses,
+			Quarantined:     h.quarantined,
+			ProbeSweep:      h.probeSweep,
+			HoldConv:        h.holdConv,
+			Misses:          f.Misses,
+			Retries:         f.Retries,
+			Malformed:       f.Malformed,
+			QuarantineSpans: f.QuarantineSpans,
+			SkippedPhases:   f.SkippedPhases,
+			FailedProbes:    f.FailedProbes,
+		}
+	}
+	return hs
+}
+
+// restoreHealth is the inverse of healthSnapshot. A checkpoint without
+// health entries (e.g. one captured by the in-process Coordinator) leaves
+// the all-healthy initial state in place.
+func (b *BSAgent) restoreHealth(hs []model.SBSHealthState, faults []core.SBSFaultStats) {
+	for n := range hs {
+		h := hs[n]
+		b.health[n] = sbsHealth{
+			consecMisses: h.ConsecMisses,
+			quarantined:  h.Quarantined,
+			probeSweep:   h.ProbeSweep,
+			holdConv:     h.HoldConv,
+		}
+		faults[n] = core.SBSFaultStats{
+			Misses:          h.Misses,
+			Retries:         h.Retries,
+			Malformed:       h.Malformed,
+			QuarantineSpans: h.QuarantineSpans,
+			SkippedPhases:   h.SkippedPhases,
+			FailedProbes:    h.FailedProbes,
+		}
+	}
+}
+
+// stateSync rebroadcasts the resume point to every non-quarantined SBS so
+// live agents drop pre-crash ghosts and rehydrate their own last
+// BS-visible policy (each sync carries ONLY the receiving SBS's row — the
+// privacy premise of §III is unchanged). Acks are gathered within one
+// ProbeTimeout window; a missing ack is observable (EventStateSyncMiss)
+// but never fatal — the phase-timeout machinery owns recovery, exactly as
+// for lost announces.
+func (b *BSAgent) stateSync(ctx context.Context, ck *model.Checkpoint) {
+	awaiting := make([]bool, b.inst.N)
+	expected := 0
+	for n, name := range b.sbsNames {
+		if b.health[n].quarantined {
+			continue // known-dead: do not stall the handshake on it
+		}
+		payload, err := transport.EncodePayload(transport.StateSync{
+			Sweep:   ck.Sweep,
+			Phase:   ck.Phase,
+			Cache:   ck.Caching.RowBools(n),
+			Routing: ck.Routing.SBS(n).Rows(),
+		})
+		if err != nil {
+			b.event(EventSendFailed, n, ck.Sweep, ck.Phase, err)
+			continue
+		}
+		msg := transport.Message{Type: transport.MsgStateSync, Sweep: ck.Sweep, Phase: ck.Phase, Payload: payload}
+		if err := b.ep.Send(ctx, name, msg); err != nil {
+			b.event(EventSendFailed, n, ck.Sweep, ck.Phase, err)
+		}
+		awaiting[n] = true
+		expected++
+	}
+	if expected == 0 {
+		return
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, b.cfg.ProbeTimeout)
+	defer cancel()
+	for acked := 0; acked < expected; {
+		msg, err := b.ep.Recv(waitCtx)
+		if err != nil {
+			break
+		}
+		if msg.Type != transport.MsgStateAck || msg.Sweep != ck.Sweep || msg.Phase != ck.Phase {
+			continue
+		}
+		for n, name := range b.sbsNames {
+			if name == msg.From && awaiting[n] {
+				awaiting[n] = false
+				acked++
+				break
+			}
+		}
+	}
+	for n, w := range awaiting {
+		if w {
+			b.event(EventStateSyncMiss, n, ck.Sweep, ck.Phase, nil)
+		}
+	}
+}
+
 // SBSAgent is the small-base-station side: it waits for phase
 // announcements, solves its sub-problem P_n, optionally applies LPPM to the
 // routing before it leaves the premises, and uploads the result.
@@ -398,6 +601,23 @@ type SBSAgent struct {
 	ep     transport.Endpoint
 	bsName string
 	hook   EventHook
+
+	// syncSweep/syncPhase mark the last BS resume point received via
+	// MsgStateSync; announces strictly older are pre-crash ghosts and are
+	// dropped (EventStaleAnnounce).
+	syncSweep, syncPhase int
+	// lastSweep/lastPhase/lastReply cache the most recent upload so a
+	// duplicated announce (BS retransmission, or replay across a BS
+	// restart at the same protocol point) is answered byte-identically
+	// without re-solving — and, under LPPM, without drawing fresh noise
+	// for a protocol point already answered.
+	lastSweep, lastPhase int
+	lastReply            []byte
+	// restoredCache/restoredRouting hold the policy carried by the last
+	// MsgStateSync: this agent's own last BS-visible decisions. An SBS
+	// that itself restarted (losing its in-memory view) recovers it here.
+	restoredCache   []bool
+	restoredRouting [][]float64
 }
 
 // NewSBSAgent builds the agent for SBS n. privacy may be nil. The SBS uses
@@ -415,7 +635,7 @@ func NewSBSAgent(inst *model.Instance, n int, sub core.SubproblemConfig,
 	if err != nil {
 		return nil, err
 	}
-	a := &SBSAgent{n: n, sub: solver, ep: ep, bsName: bsName}
+	a := &SBSAgent{n: n, sub: solver, ep: ep, bsName: bsName, lastSweep: -1, lastPhase: -1}
 	if privacy != nil {
 		lppm, err := core.NewLPPM(*privacy)
 		if err != nil {
@@ -455,6 +675,8 @@ func (a *SBSAgent) Run(ctx context.Context) error {
 			if err := a.handlePhase(ctx, msg); err != nil {
 				return err
 			}
+		case transport.MsgStateSync:
+			a.handleStateSync(ctx, msg)
 		default:
 			// Unexpected message: ignore (robustness against duplicates).
 		}
@@ -462,6 +684,20 @@ func (a *SBSAgent) Run(ctx context.Context) error {
 }
 
 func (a *SBSAgent) handlePhase(ctx context.Context, msg transport.Message) error {
+	// Announces older than the BS's announced resume point are pre-crash
+	// ghosts still in flight; answering them would upload state the
+	// resumed BS has already rolled past.
+	if msg.Sweep < a.syncSweep || (msg.Sweep == a.syncSweep && msg.Phase < a.syncPhase) {
+		a.event(EventStaleAnnounce, msg.Sweep, msg.Phase, nil)
+		return nil
+	}
+	// A duplicated announce for the point just answered is served from the
+	// reply cache: re-solving is wasted work, and under LPPM it would draw
+	// fresh noise — spending privacy budget twice on one protocol point.
+	if a.lastReply != nil && msg.Sweep == a.lastSweep && msg.Phase == a.lastPhase {
+		a.event(EventReplayedUpload, msg.Sweep, msg.Phase, nil)
+		return a.sendReply(ctx, msg.Sweep, msg.Phase, a.lastReply)
+	}
 	var ann transport.AggregateAnnounce
 	if err := transport.DecodePayload(msg.Payload, &ann); err != nil {
 		// Malformed announcement: skip; the BS will retransmit or time out.
@@ -491,17 +727,53 @@ func (a *SBSAgent) handlePhase(ctx context.Context, msg transport.Message) error
 	if err != nil {
 		return err
 	}
+	a.lastSweep, a.lastPhase, a.lastReply = msg.Sweep, msg.Phase, payload
+	return a.sendReply(ctx, msg.Sweep, msg.Phase, payload)
+}
+
+// sendReply uploads a (possibly cached) policy payload for (sweep, phase).
+// Send failures are non-fatal — the BS's timeout machinery owns recovery —
+// unless the context itself is done.
+func (a *SBSAgent) sendReply(ctx context.Context, sweep, phase int, payload []byte) error {
 	reply := transport.Message{
 		Type:    transport.MsgPolicyUpload,
-		Sweep:   msg.Sweep,
-		Phase:   msg.Phase,
+		Sweep:   sweep,
+		Phase:   phase,
 		Payload: payload,
 	}
 	if err := a.ep.Send(ctx, a.bsName, reply); err != nil {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		a.event(EventSendFailed, msg.Sweep, msg.Phase, err)
+		a.event(EventSendFailed, sweep, phase, err)
 	}
 	return nil
+}
+
+// handleStateSync rehydrates the agent after a BS resume: it records the
+// resume point (the stale-announce filter), stores its own restored
+// policy view, drops the reply cache (pre-crash uploads must not answer
+// post-resume announces) and acknowledges.
+func (a *SBSAgent) handleStateSync(ctx context.Context, msg transport.Message) {
+	var sync transport.StateSync
+	if err := transport.DecodePayload(msg.Payload, &sync); err != nil {
+		a.event(EventBadAnnounce, msg.Sweep, msg.Phase, err)
+		return
+	}
+	a.syncSweep, a.syncPhase = sync.Sweep, sync.Phase
+	a.restoredCache, a.restoredRouting = sync.Cache, sync.Routing
+	a.lastSweep, a.lastPhase, a.lastReply = -1, -1, nil
+	a.event(EventStateSync, sync.Sweep, sync.Phase, nil)
+	ack := transport.Message{Type: transport.MsgStateAck, Sweep: msg.Sweep, Phase: msg.Phase}
+	if err := a.ep.Send(ctx, a.bsName, ack); err != nil {
+		a.event(EventSendFailed, msg.Sweep, msg.Phase, err)
+	}
+}
+
+// RestoredPolicy returns the agent's own last BS-visible policy as carried
+// by the most recent MsgStateSync (nil before any sync). It is the
+// recovery path for an SBS that itself restarted and lost its in-memory
+// view.
+func (a *SBSAgent) RestoredPolicy() (cache []bool, routing [][]float64) {
+	return a.restoredCache, a.restoredRouting
 }

@@ -32,6 +32,14 @@ const (
 	MsgPolicyUpload
 	// MsgDone tells every SBS the run converged and agents may exit.
 	MsgDone
+	// MsgStateSync is broadcast by a BS that resumed from a checkpoint:
+	// the payload is a StateSync carrying the resume point and the
+	// receiving SBS's own last BS-visible policy, so the agent rehydrates
+	// its workspace instead of assuming iteration zero.
+	MsgStateSync
+	// MsgStateAck is the SBS's acknowledgement of a MsgStateSync (empty
+	// payload; the sync point is echoed in the header).
+	MsgStateAck
 )
 
 // String names the message type.
@@ -43,6 +51,10 @@ func (m MsgType) String() string {
 		return "policy-upload"
 	case MsgDone:
 		return "done"
+	case MsgStateSync:
+		return "state-sync"
+	case MsgStateAck:
+		return "state-ack"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(m))
 	}
@@ -78,6 +90,21 @@ type PolicyUpload struct {
 	Routing [][]float64
 }
 
+// StateSync is the BS→SBS rehydration body sent after a coordinator
+// resume: the protocol point the run continues from, plus the receiving
+// SBS's OWN last policy as the BS sees it (post-LPPM). It carries no other
+// SBS's data, so the privacy premise of §III is unchanged — each SBS
+// only ever learns its own upload back and the aggregate of the others.
+type StateSync struct {
+	// Sweep and Phase are the resume point; announces strictly older are
+	// pre-crash ghosts the SBS should ignore.
+	Sweep int
+	Phase int
+	// Cache and Routing are the receiving SBS's last BS-visible policy.
+	Cache   []bool
+	Routing [][]float64
+}
+
 // EncodePayload gob-encodes a payload body.
 func EncodePayload(v any) ([]byte, error) {
 	var buf bytes.Buffer
@@ -87,8 +114,14 @@ func EncodePayload(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodePayload gob-decodes a payload body into out (a pointer).
+// DecodePayload gob-decodes a payload body into out (a pointer). Inputs
+// larger than the frame limit are rejected up front: the in-memory hub has
+// no framing layer, so without this cap a hostile peer could hand the gob
+// decoder an arbitrarily large allocation request.
 func DecodePayload(data []byte, out any) error {
+	if len(data) > maxFrameSize {
+		return fmt.Errorf("transport: payload of %d bytes exceeds limit %d", len(data), maxFrameSize)
+	}
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
 		return fmt.Errorf("transport: decode payload: %w", err)
 	}

@@ -29,6 +29,14 @@ go vet ./...
 echo "verify: edgelint ./..."
 go run ./cmd/edgelint ./...
 
+# Crash-recovery gate: the checkpoint/resume paths (bit-identical resume,
+# snapshot codec hardening, BS crash recovery, state-sync handshake) run
+# first under -race so a regression in the headline durability guarantee
+# fails fast, before the broad suites.
+echo "verify: crash-resume recovery gate (-race)"
+go test -race -run 'Resume|Checkpoint|BSCrash|StateSync|ReplyCache|NoiseSource' \
+	./internal/model ./internal/core ./internal/sim ./internal/chaos
+
 echo "verify: go test -race ./internal/core/... ./internal/sim/... ./internal/transport/..."
 go test -race ./internal/core/... ./internal/sim/... ./internal/transport/...
 
