@@ -11,6 +11,8 @@
 //	benchfig -seeds 1,2,3,4,5       # average over more seeds
 //	benchfig -epsilon 0.5 -delta .3 # non-Fig.3 privacy parameters
 //	benchfig -bench-json BENCH.json # DUA hot-path microbenchmarks as JSON
+//	benchfig -bench-parallel BENCH_parallel.json   # parallel-engine scaling report
+//	benchfig -bench-parallel new.json -bench-baseline BENCH_parallel.json  # CI regression smoke
 package main
 
 import (
@@ -49,12 +51,21 @@ func run(args []string) error {
 		trials    = fs.Int("gap-trials", 5, "trials for the E7 optimality-gap experiment")
 		plotFigs  = fs.Bool("plot", false, "render figures 3-6 as ASCII charts too")
 		benchJSON = fs.String("bench-json", "", "run the DUA hot-path microbenchmarks and write JSON to this path (\"-\" for stdout)")
+		benchPar  = fs.String("bench-parallel", "", "run the parallel sweep-engine scaling benchmark and write JSON to this path (\"-\" for stdout)")
+		benchBase = fs.String("bench-baseline", "", "with -bench-parallel: fail on >20% speedup/alloc regression vs this committed baseline (e.g. BENCH_parallel.json)")
+		benchWrk  = fs.String("bench-workers", "1,2,4,8", "worker counts measured by -bench-parallel")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *benchJSON != "" {
 		return runBenchJSON(*benchJSON)
+	}
+	if *benchPar != "" {
+		return runParallelBench(*benchPar, *benchBase, *benchWrk)
+	}
+	if *benchBase != "" {
+		return fmt.Errorf("-bench-baseline requires -bench-parallel")
 	}
 	if !*all && *fig == 0 && !*summary && !*extra && !*ablations {
 		fs.Usage()

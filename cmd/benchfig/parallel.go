@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"edgecache/internal/core"
+)
+
+// ParallelScale records the instance size of the scaling benchmark.
+type ParallelScale struct {
+	N      int `json:"n"`
+	U      int `json:"u"`
+	F      int `json:"f"`
+	Sweeps int `json:"sweeps"`
+}
+
+// ParallelWorkerResult is one worker-count measurement of the parallel
+// engine, with its speedup over the sequential reference Jacobi engine
+// measured in the same run. The speedup ratio — not the machine-dependent
+// ns/op — is what the CI baseline comparison checks.
+type ParallelWorkerResult struct {
+	Workers int `json:"workers"`
+	BenchResult
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
+// ParallelBenchReport is the JSON document -bench-parallel writes
+// (BENCH_parallel.json in the repository root is the committed baseline).
+type ParallelBenchReport struct {
+	Description string                 `json:"description"`
+	NumCPU      int                    `json:"num_cpu"`
+	GoMaxProcs  int                    `json:"gomaxprocs"`
+	HostNote    string                 `json:"host_note,omitempty"`
+	Scale       ParallelScale          `json:"scale"`
+	Sequential  BenchResult            `json:"sequential_jacobi"`
+	Parallel    []ParallelWorkerResult `json:"parallel_jacobi"`
+}
+
+// parseWorkers parses the -bench-workers list ("1,2,4,8").
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		w, err := strconv.Atoi(p)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("invalid worker count %q", p)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no worker counts given")
+	}
+	return out, nil
+}
+
+// measureRun benchmarks coord.Run. The coordinator is configured with a
+// sub-γ threshold so every run exhausts the sweep budget: fixed work/op.
+func measureRun(coord *core.Coordinator) (testing.BenchmarkResult, error) {
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := coord.Run(); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, runErr
+}
+
+// runParallelBench measures the parallel Jacobi engine against the
+// sequential reference at each requested worker count, writes the report
+// to path ("-" for stdout), and — when baseline names a committed report —
+// fails if the speedup trajectory or the allocation behaviour regressed.
+func runParallelBench(path, baseline, workersList string) error {
+	workers, err := parseWorkers(workersList)
+	if err != nil {
+		return err
+	}
+	// The CI smoke scale: N=50 SBSs at U=200, F=200, one full Jacobi round
+	// per op. Big enough that the solve fan-out dominates the barriers,
+	// small enough for a per-commit gate.
+	scale := ParallelScale{N: 50, U: 200, F: 200, Sweeps: 1}
+	inst := benchInstance(scale.N, scale.U, scale.F)
+
+	newCoord := func(engine core.EngineKind, w int) (*core.Coordinator, error) {
+		cfg := core.DefaultConfig()
+		cfg.MaxSweeps = scale.Sweeps
+		cfg.Gamma = 1e-300 // exhaust the sweep budget: fixed work per op
+		cfg.Engine = engine
+		cfg.Workers = w
+		return core.NewCoordinator(inst, cfg)
+	}
+
+	// Determinism smoke before timing anything: the parallel engine at
+	// workers=1 must reproduce the reference trajectory bit-for-bit.
+	seq, err := newCoord(core.EngineJacobi, 0)
+	if err != nil {
+		return err
+	}
+	seqRes, err := seq.Run()
+	if err != nil {
+		return err
+	}
+	par1, err := newCoord(core.EngineParallelJacobi, 1)
+	if err != nil {
+		return err
+	}
+	par1Res, err := par1.Run()
+	par1.Close()
+	if err != nil {
+		return err
+	}
+	if len(seqRes.History) != len(par1Res.History) {
+		return fmt.Errorf("parallel workers=1 ran %d sweeps, reference ran %d", len(par1Res.History), len(seqRes.History))
+	}
+	for i := range seqRes.History {
+		if math.Float64bits(seqRes.History[i]) != math.Float64bits(par1Res.History[i]) {
+			return fmt.Errorf("parallel workers=1 diverged from the reference at sweep %d: %v != %v",
+				i, par1Res.History[i], seqRes.History[i])
+		}
+	}
+
+	report := ParallelBenchReport{
+		Description: fmt.Sprintf("Parallel Jacobi engine scaling: one full round at N=%d/U=%d/F=%d "+
+			"(instance distribution matches internal/core benchScale, seed 99) versus the sequential "+
+			"reference Jacobi engine. ns/op is machine-dependent; the speedup ratios and allocs/op are "+
+			"the regression contract (the CI smoke compares those, not wall-clock). "+
+			"Generated with `go run ./cmd/benchfig -bench-parallel BENCH_parallel.json`.",
+			scale.N, scale.U, scale.F),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+	}
+	if report.GoMaxProcs == 1 {
+		report.HostNote = "measured on a single-core host: GOMAXPROCS=1 serializes the pool, so the " +
+			"speedup ratios bound the pool's overhead (expected slightly below 1x) rather than its " +
+			"scaling; near-linear scaling requires a multi-core host"
+	}
+
+	fmt.Fprintf(os.Stderr, "benchfig: measuring sequential jacobi (N=%d U=%d F=%d) ...\n", scale.N, scale.U, scale.F)
+	res, err := measureRun(seq)
+	if err != nil {
+		return err
+	}
+	report.Sequential = toResult("JacobiRound/sequential", res)
+
+	for _, w := range workers {
+		fmt.Fprintf(os.Stderr, "benchfig: measuring parallel jacobi, workers=%d ...\n", w)
+		coord, err := newCoord(core.EngineParallelJacobi, w)
+		if err != nil {
+			return err
+		}
+		res, err := measureRun(coord)
+		coord.Close()
+		if err != nil {
+			return err
+		}
+		wr := ParallelWorkerResult{
+			Workers:     w,
+			BenchResult: toResult(fmt.Sprintf("JacobiRound/parallel_w%d", w), res),
+		}
+		wr.Speedup = report.Sequential.NsPerOp / wr.NsPerOp
+		report.Parallel = append(report.Parallel, wr)
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		if _, err := os.Stdout.Write(out); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchfig: wrote %s\n", path)
+	}
+
+	if baseline != "" {
+		return compareParallelBaseline(report, baseline)
+	}
+	return nil
+}
+
+// compareParallelBaseline fails when the fresh report regresses more than
+// 20% against the committed baseline. Wall-clock ns/op is not comparable
+// across machines, so the contract is the within-run speedup ratio (the
+// parallel engine versus the sequential engine measured on the same host
+// moments apart) plus the allocation counts, which are deterministic.
+func compareParallelBaseline(report ParallelBenchReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base ParallelBenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	const tolerance = 0.20
+	baseByWorkers := make(map[int]ParallelWorkerResult, len(base.Parallel))
+	for _, b := range base.Parallel {
+		baseByWorkers[b.Workers] = b
+	}
+	var failures []string
+	for _, got := range report.Parallel {
+		want, ok := baseByWorkers[got.Workers]
+		if !ok {
+			continue // baseline predates this worker count
+		}
+		fmt.Fprintf(os.Stderr, "benchfig: workers=%d speedup %.2fx (baseline %.2fx), allocs/op %d (baseline %d)\n",
+			got.Workers, got.Speedup, want.Speedup, got.AllocsPerOp, want.AllocsPerOp)
+		if want.Speedup > 0 && got.Speedup < (1-tolerance)*want.Speedup {
+			failures = append(failures, fmt.Sprintf(
+				"workers=%d: speedup %.2fx regressed >%d%% below baseline %.2fx",
+				got.Workers, got.Speedup, int(tolerance*100), want.Speedup))
+		}
+		if float64(got.AllocsPerOp) > (1+tolerance)*float64(want.AllocsPerOp)+1 {
+			failures = append(failures, fmt.Sprintf(
+				"workers=%d: %d allocs/op versus baseline %d — the steady-state zero-alloc contract leaked",
+				got.Workers, got.AllocsPerOp, want.AllocsPerOp))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("parallel bench regressed vs %s:\n  %s", path, strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchfig: no regression vs %s\n", path)
+	return nil
+}

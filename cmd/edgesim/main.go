@@ -9,6 +9,8 @@
 //	edgesim -groups 40 -links 60     # topology overrides
 //	edgesim -compare                 # also run LRFU and no-cache baselines
 //	edgesim -chaos "drop=0.3,crash=1@1+3"  # distributed run under faults
+//	edgesim -engine jacobi           # reference Jacobi rounds instead of Gauss-Seidel
+//	edgesim -engine parallel -workers 8    # goroutine-sharded Jacobi worker pool
 //	edgesim -checkpoint-dir ckpt     # snapshot sweep state for crash recovery
 //	edgesim -checkpoint-dir ckpt -resume   # continue from the newest snapshot
 package main
@@ -55,7 +57,9 @@ func run(args []string) error {
 		phaseTO     = fs.Duration("phase-timeout", 0, "BS phase timeout for -chaos runs (default 2s)")
 		compare     = fs.Bool("compare", false, "also run the LRFU and no-cache baselines")
 		restarts    = fs.Int("restarts", 0, "extra shuffled-order restarts (extension)")
-		jacobi      = fs.Bool("jacobi", false, "use the asynchronous Jacobi update mode (extension)")
+		engine      = fs.String("engine", "gs", "sweep engine: gs (sequential Gauss-Seidel), jacobi (reference round updates), parallel (goroutine-sharded Jacobi)")
+		workers     = fs.Int("workers", 0, "worker-pool size for -engine parallel (0 means GOMAXPROCS)")
+		jacobi      = fs.Bool("jacobi", false, "deprecated alias for -engine jacobi")
 		regions     = fs.Int("regions", 1, "number of BS coordination regions (multi-BS extension)")
 		saveInst    = fs.String("save-instance", "", "write the built instance as JSON and continue")
 		loadInst    = fs.String("load-instance", "", "load the instance from JSON instead of building a scenario")
@@ -68,13 +72,23 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	engineKind, err := model.ParseEngineKind(*engine)
+	if err != nil {
+		return err
+	}
+	if *jacobi {
+		if engineKind != model.EngineGaussSeidel && engineKind != model.EngineJacobi {
+			return fmt.Errorf("-jacobi conflicts with -engine %v", engineKind)
+		}
+		engineKind = model.EngineJacobi
+	}
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 	if *ckptDir != "" {
-		// Checkpointing covers the in-process coordinator; the chaos runner
-		// manages its own store for bscrash recovery, and the remaining modes
-		// have no resume path.
+		// Checkpointing covers the in-process coordinator (any engine, at
+		// sweep boundaries); the chaos runner manages its own store for
+		// bscrash recovery, and the remaining modes have no resume path.
 		switch {
 		case *chaosSpec != "":
 			return fmt.Errorf("-checkpoint-dir is not supported with -chaos (bscrash schedules auto-install an in-memory store)")
@@ -82,8 +96,6 @@ func run(args []string) error {
 			return fmt.Errorf("-checkpoint-dir is not supported with -distributed")
 		case *regions > 1:
 			return fmt.Errorf("-checkpoint-dir is not supported with -regions")
-		case *jacobi:
-			return fmt.Errorf("-checkpoint-dir is not supported with -jacobi")
 		case *restarts > 0:
 			return fmt.Errorf("-checkpoint-dir is not supported with -restarts")
 		}
@@ -145,7 +157,6 @@ func run(args []string) error {
 	}
 
 	var res *core.RunResult
-	var err error
 	mode := "in-process coordinator"
 	switch {
 	case *chaosSpec != "":
@@ -200,6 +211,14 @@ func run(args []string) error {
 		cfg.Privacy = privacy(0)
 		cfg.Restarts = *restarts
 		cfg.RestartSeed = *seed
+		cfg.Engine = engineKind
+		cfg.Workers = *workers
+		switch engineKind {
+		case model.EngineJacobi:
+			mode = "in-process coordinator (reference Jacobi rounds)"
+		case model.EngineParallelJacobi:
+			mode = "in-process coordinator (parallel Jacobi worker pool)"
+		}
 		var store *model.CheckpointStore
 		if *ckptDir != "" {
 			store, err = model.NewCheckpointStore(*ckptDir, *ckptRetain)
@@ -220,19 +239,16 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		switch {
-		case *jacobi:
-			mode = "asynchronous Jacobi rounds"
-			res, err = coord.RunJacobi()
-		case *resume:
-			mode = "in-process coordinator (resumed)"
+		defer coord.Close()
+		if *resume {
+			mode += " (resumed)"
 			ck, lerr := store.Latest()
 			if lerr != nil {
 				return fmt.Errorf("resume from %s: %w", *ckptDir, lerr)
 			}
 			fmt.Printf("resuming from checkpoint at sweep %d phase %d\n\n", ck.Sweep, ck.Phase)
 			res, err = coord.Resume(ck)
-		default:
+		} else {
 			res, err = coord.Run()
 		}
 	}

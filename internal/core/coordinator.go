@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"edgecache/internal/dp"
@@ -120,6 +119,14 @@ type Config struct {
 	Gamma float64
 	// MaxSweeps is T, the sweep budget. 0 means the default 50.
 	MaxSweeps int
+	// Engine selects the sweep discipline: the zero value is the paper's
+	// sequential Gauss-Seidel sweep (Algorithm 1); EngineJacobi is the
+	// sequential reference of the parallel-update variant (§VII);
+	// EngineParallelJacobi computes the same trajectory on a worker pool.
+	Engine EngineKind
+	// Workers sizes the parallel engine's pool; 0 means GOMAXPROCS. It is
+	// an error to set it for the sequential engines.
+	Workers int
 	// Privacy, when non-nil, applies LPPM to every routing upload.
 	Privacy *PrivacyConfig
 
@@ -246,25 +253,47 @@ func (r *RunResult) TotalFaults() SBSFaultStats {
 // (solving P_n). The message-passing deployment in internal/sim produces
 // identical results over a real transport; tests assert that equivalence.
 type Coordinator struct {
-	inst *model.Instance
-	cfg  Config
-	subs []*Subproblem
-	lppm *LPPM // nil when privacy is off
+	inst   *model.Instance
+	cfg    Config
+	subs   []*Subproblem
+	lppm   *LPPM       // nil when privacy is off
+	engine SweepEngine // the engine cfg.Engine selected
 }
 
 // NewCoordinator validates the instance and precomputes the per-SBS
-// sub-problem solvers.
+// sub-problem solvers. Callers using EngineParallelJacobi should Close the
+// coordinator when done to release its worker pool.
 func NewCoordinator(inst *model.Instance, cfg Config) (*Coordinator, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if !cfg.Engine.Valid() {
+		return nil, fmt.Errorf("core: unknown engine kind %d", cfg.Engine)
+	}
+	if cfg.Workers != 0 && cfg.Engine != EngineParallelJacobi {
+		return nil, fmt.Errorf("core: Workers applies only to the parallel engine, not %v", cfg.Engine)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: Workers must be non-negative, got %d", cfg.Workers)
+	}
+	if cfg.Engine != EngineGaussSeidel {
+		if cfg.Restarts > 0 {
+			return nil, fmt.Errorf("core: Restarts explores SBS update orders, which only the Gauss-Seidel engine has")
+		}
+		if cfg.BroadcastTap != nil || cfg.UploadTap != nil {
+			return nil, fmt.Errorf("core: attack taps instrument the Gauss-Seidel broadcast protocol; engine %v does not drive them", cfg.Engine)
+		}
+	}
 	if ck := cfg.Checkpoint; ck != nil {
 		if ck.Sink == nil {
 			return nil, fmt.Errorf("core: checkpoint config requires a sink")
 		}
 		if cfg.Restarts > 0 {
 			return nil, fmt.Errorf("core: checkpointing is incompatible with Restarts > 0: a snapshot records a single trajectory")
+		}
+		if ck.EachPhase && cfg.Engine != EngineGaussSeidel {
+			return nil, fmt.Errorf("core: per-phase checkpoints need mid-sweep resume points; a %v round is atomic (use sweep-boundary cadence)", cfg.Engine)
 		}
 		if cfg.Privacy != nil && (cfg.Privacy.Noise == nil || cfg.Privacy.Rng != nil) {
 			return nil, fmt.Errorf("core: checkpointing a private run requires Privacy.Noise alone (a seekable noise source); a bare Rng has no capturable position")
@@ -286,18 +315,25 @@ func NewCoordinator(inst *model.Instance, cfg Config) (*Coordinator, error) {
 		}
 		c.subs[n] = sub
 	}
+	engine, err := c.newEngine()
+	if err != nil {
+		return nil, err
+	}
+	c.engine = engine
 	return c, nil
 }
 
-// Run executes Algorithm 1 from the all-zero initial policy. With
-// Config.Restarts > 0 it additionally explores shuffled SBS update orders
-// and returns the cheapest run.
+// Close releases the coordinator's engine resources (the parallel
+// engine's worker pool). It is idempotent and safe to skip for the
+// sequential engines.
+func (c *Coordinator) Close() { c.engine.Close() }
+
+// Run executes the configured engine from the all-zero initial policy.
+// With Config.Restarts > 0 (Gauss-Seidel only) it additionally explores
+// shuffled SBS update orders and returns the cheapest run.
 func (c *Coordinator) Run() (*RunResult, error) {
-	order := make([]int, c.inst.N)
-	for i := range order {
-		order[i] = i
-	}
-	best, err := c.runOnce(order)
+	order := identityOrder(c.inst.N)
+	best, err := c.runEngine(c.engine, NewSweepState(c.inst, order))
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +341,7 @@ func (c *Coordinator) Run() (*RunResult, error) {
 		rng := rand.New(rand.NewSource(c.cfg.RestartSeed))
 		for attempt := 0; attempt < c.cfg.Restarts; attempt++ {
 			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-			res, err := c.runOnce(order)
+			res, err := c.runEngine(c.engine, NewSweepState(c.inst, order))
 			if err != nil {
 				return nil, err
 			}
@@ -317,50 +353,15 @@ func (c *Coordinator) Run() (*RunResult, error) {
 	return best, nil
 }
 
-// sweepState is everything the sweep loop carries between phases — the
-// live counterpart of a model.Checkpoint. newState builds the iteration-
-// zero state; Resume rebuilds one from a snapshot.
-type sweepState struct {
-	order []int
-	// sweep and phase are the NEXT point to execute: order position phase
-	// of sweep sweep.
-	sweep, phase int
-	x            *model.CachingPolicy
-	y            *model.RoutingPolicy // BS view: uploaded (noised) policies
-	tracker      *model.AggregateTracker
-	history      []float64
-	prevCost     float64
-	best         *model.Solution
-}
-
-// newState returns the all-zero initial state for one run.
-func (c *Coordinator) newState(order []int) *sweepState {
-	return &sweepState{
-		order: order,
-		x:     model.NewCachingPolicy(c.inst),
-		y:     model.NewRoutingPolicy(c.inst),
-		// The BS maintains the masked aggregate Σ_n y·l incrementally:
-		// each phase derives y_{-n} in O(U·F) (subtract SBS n's block) and
-		// advances the aggregate from the fresh upload, replacing the
-		// O(N·U·F) AggregateExcept rebuild the seed implementation
-		// performed per phase.
-		tracker:  model.NewAggregateTracker(c.inst),
-		prevCost: math.Inf(1),
-	}
-}
-
-// runOnce executes one full Algorithm 1 run with the given per-sweep SBS
-// update order.
-func (c *Coordinator) runOnce(order []int) (*RunResult, error) {
-	return c.runFrom(c.newState(order))
-}
-
 // Resume continues a run from a snapshot. The resumed trajectory — cost
 // history, final cost and policies — is bit-identical to the uninterrupted
 // run's, because the solver is deterministic, the snapshot carries the
 // tracker's exact running sums, and (with privacy) the noise stream is
 // repositioned to the recorded draw count. The coordinator must be built
-// with the same instance and configuration as the crashed run.
+// with the same instance and configuration as the crashed run; the engine
+// must be of the same family as the one that took the snapshot (the
+// reference and parallel Jacobi engines are interchangeable, Gauss-Seidel
+// is not interchangeable with either).
 func (c *Coordinator) Resume(ck *model.Checkpoint) (*RunResult, error) {
 	if ck == nil {
 		return nil, fmt.Errorf("core: nil checkpoint")
@@ -370,6 +371,10 @@ func (c *Coordinator) Resume(ck *model.Checkpoint) (*RunResult, error) {
 	}
 	if c.cfg.Restarts > 0 {
 		return nil, fmt.Errorf("core: cannot resume with Restarts > 0: a snapshot records a single trajectory")
+	}
+	if want, have := ck.Engine.Family(), c.engine.Kind().Family(); want != have {
+		return nil, fmt.Errorf("core: checkpoint was taken by engine %v (%v family); configured engine %v (%v family) would diverge from its trajectory",
+			ck.Engine, want, c.engine.Kind(), have)
 	}
 	if ck.HasNoise != (c.lppm != nil) {
 		return nil, fmt.Errorf("core: checkpoint privacy state (LPPM=%v) does not match configuration (LPPM=%v)",
@@ -395,122 +400,36 @@ func (c *Coordinator) Resume(ck *model.Checkpoint) (*RunResult, error) {
 			return nil, err
 		}
 	}
-	st := &sweepState{
-		order:    append([]int(nil), ck.Order...),
-		sweep:    ck.Sweep,
-		phase:    ck.Phase,
-		x:        ck.Caching.Clone(),
-		y:        ck.Routing.Clone(),
-		tracker:  model.NewAggregateTracker(c.inst),
-		history:  append([]float64(nil), ck.History...),
-		prevCost: ck.PrevCost,
-		best:     ck.Best.Clone(),
+	st := &SweepState{
+		Order:    append([]int(nil), ck.Order...),
+		Sweep:    ck.Sweep,
+		Phase:    ck.Phase,
+		X:        ck.Caching.Clone(),
+		Y:        ck.Routing.Clone(),
+		Tracker:  model.NewAggregateTracker(c.inst),
+		History:  append([]float64(nil), ck.History...),
+		PrevCost: ck.PrevCost,
+		Best:     ck.Best.Clone(),
 	}
-	st.tracker.Restore(ck.Aggregate)
-	return c.runFrom(st)
-}
-
-// runFrom drives Algorithm 1 from st (iteration zero or a resumed
-// snapshot) to completion.
-//
-// The BS evaluates the uploaded aggregate after every sweep anyway
-// (Algorithm 1's stop rule needs f(y(τ))), so it retains the cheapest
-// policy seen and returns that. Without LPPM the sweep costs are
-// non-increasing and this is exactly the final sweep; with LPPM per-sweep
-// noise redraws can drift the trajectory (SBSs start duplicating demand
-// their peers under-report), and keeping the best sweep is the natural
-// BS-side behaviour.
-func (c *Coordinator) runFrom(st *sweepState) (*RunResult, error) {
-	inst := c.inst
-	x, y, tracker := st.x, st.y, st.tracker
-	yMinus := inst.NewUFMat()
-
-	res := &RunResult{History: st.history, Sweeps: len(st.history)}
-	ckpt := c.cfg.Checkpoint
-	every := 1
-	if ckpt != nil && ckpt.EverySweeps > 0 {
-		every = ckpt.EverySweeps
-	}
-
-	for sweep := st.sweep; sweep < c.cfg.MaxSweeps; sweep++ {
-		first := 0
-		if sweep == st.sweep {
-			first = st.phase
-		}
-		for pi := first; pi < len(st.order); pi++ {
-			n := st.order[pi]
-			// The BS broadcasts the aggregate routing; SBS n subtracts its
-			// own last upload to obtain y_{-n} (eq. 25).
-			tracker.YMinusInto(inst, y, n, yMinus)
-			if c.cfg.BroadcastTap != nil {
-				c.cfg.BroadcastTap(sweep, n, yMinus.Rows())
-			}
-			sub, err := c.subs[n].Solve(yMinus)
-			if err != nil {
-				return nil, err
-			}
-			upload := sub.Routing
-			if c.lppm != nil {
-				upload, err = c.lppm.PerturbSBS(n, sub.Routing)
-				if err != nil {
-					return nil, err
-				}
-			}
-			if c.cfg.UploadTap != nil {
-				c.cfg.UploadTap(sweep, n, sub.Routing.Rows(), upload.Rows())
-			}
-			x.SetRow(n, sub.Cache)
-			tracker.Install(inst, y, n, yMinus, upload)
-			if ckpt != nil && ckpt.EachPhase && pi+1 < len(st.order) {
-				if err := c.snapshot(ckpt.Sink, st, res, sweep, pi+1); err != nil {
-					return nil, err
-				}
-			}
-		}
-		cost := model.TotalServingCostFromAggregate(inst, y, tracker.Aggregate())
-		res.History = append(res.History, cost.Total)
-		res.Sweeps = sweep + 1
-		if st.best == nil || cost.Total < st.best.Cost.Total {
-			st.best = &model.Solution{Caching: x.Clone(), Routing: y.Clone(), Cost: cost}
-		}
-
-		// Algorithm 1's stop rule: relative improvement below γ. The
-		// absolute value guards against noise-induced oscillation under
-		// LPPM (Theorem 3 guarantees convergence of the underlying
-		// sequence, but individual sweeps can regress slightly).
-		if cost.Total > 0 && math.Abs(st.prevCost-cost.Total)/cost.Total <= c.cfg.Gamma {
-			res.Converged = true
-			st.prevCost = cost.Total
-			break
-		}
-		st.prevCost = cost.Total
-		if ckpt != nil && (sweep+1)%every == 0 {
-			if err := c.snapshot(ckpt.Sink, st, res, sweep+1, 0); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	if st.best == nil { // MaxSweeps == 0 cannot happen after withDefaults, but stay safe
-		st.best = &model.Solution{Caching: x, Routing: y, Cost: model.TotalServingCost(inst, y)}
-	}
-	res.Solution = st.best
-	return res, nil
+	st.Tracker.Restore(ck.Aggregate)
+	return c.runEngine(c.engine, st)
 }
 
 // snapshot captures the current sweep state as of resume point
-// (sweep, phase) and hands it to the sink.
-func (c *Coordinator) snapshot(sink model.CheckpointSink, st *sweepState, res *RunResult, sweep, phase int) error {
+// (sweep, phase) and hands it to the sink, recording which engine kind
+// produced the trajectory.
+func (c *Coordinator) snapshot(sink model.CheckpointSink, kind EngineKind, st *SweepState, res *RunResult, sweep, phase int) error {
 	ck := &model.Checkpoint{
 		Sweep:      sweep,
 		Phase:      phase,
-		Order:      append([]int(nil), st.order...),
-		Caching:    st.x.Clone(),
-		Routing:    st.y.Clone(),
-		Aggregate:  st.tracker.Aggregate().Clone(),
+		Engine:     kind,
+		Order:      append([]int(nil), st.Order...),
+		Caching:    st.X.Clone(),
+		Routing:    st.Y.Clone(),
+		Aggregate:  st.Tracker.Aggregate().Clone(),
 		History:    append([]float64(nil), res.History...),
-		PrevCost:   st.prevCost,
-		Best:       st.best.Clone(),
+		PrevCost:   st.PrevCost,
+		Best:       st.Best.Clone(),
 		Mu:         make([][]float64, c.inst.N),
 		InstanceFP: c.inst.Fingerprint(),
 	}

@@ -1,87 +1,103 @@
 package core
 
 import (
-	"math"
+	"fmt"
 
 	"edgecache/internal/model"
 )
 
-// RunJacobi executes the asynchronous variant the paper leaves as future
-// work (§VII): instead of the Gauss-Seidel sweep, every SBS solves its
-// sub-problem in the same round against the previous round's aggregate —
-// the classic Jacobi/parallel update, which models SBSs that compute
-// concurrently on possibly-stale broadcast state.
+// jacobiEngine is the sequential reference implementation of the
+// parallel-update variant the paper leaves as future work (§VII): instead
+// of the Gauss-Seidel sweep, every SBS of a round solves its sub-problem
+// against the same pre-round aggregate — the classic Jacobi update, which
+// models SBSs that compute concurrently on possibly-stale broadcast state.
 //
 // Because two SBSs can simultaneously claim the same residual demand, the
 // raw Jacobi round may violate the no-overserve constraint (4). The BS
 // repairs each round: wherever the aggregate exceeds one, every SBS's
 // share of that demand is scaled down proportionally (the BS already owns
 // the aggregate, so the repair needs no extra information exchange). The
-// repaired policy is what the BS broadcasts, evaluates and finally
-// returns, so every result is feasible.
+// repaired policy is what the BS evaluates and finally returns, so every
+// result is feasible.
 //
-// Convergence is assessed with the same γ rule as Run; the E9 ablation
-// benchmark compares rounds-to-converge and final cost against the
-// sequential sweep.
-func (c *Coordinator) RunJacobi() (*RunResult, error) {
-	inst := c.inst
-	x := model.NewCachingPolicy(inst)
-	y := model.NewRoutingPolicy(inst)
+// The per-SBS y_{-n} comes from the aggregate tracker in O(U·F) (the
+// round's aggregate minus SBS n's own pre-round block), and the tracker is
+// rebuilt once per round in O(N·U·F) — replacing the seed implementation's
+// per-phase AggregateExcept recompute, which cost O(N·U·F) for every SBS
+// of every round. The rebuild and the repair both accumulate each (u,f)
+// entry over n in ascending order, so the parallel engine, which shards
+// the same loops by row ranges, produces bit-identical aggregates.
+type jacobiEngine struct {
+	c      *Coordinator
+	yMinus model.Mat
+	// next receives the round's uploads while st.Y still holds the
+	// pre-round policy every SBS observes; the two swap at the end of the
+	// round, recycling the old tensor as the next round's buffer.
+	next *model.RoutingPolicy
+}
 
-	// Every per-SBS y_{-n} of a round is computed into one reusable scratch
-	// matrix; Jacobi is an ablation, so it keeps the reference
-	// AggregateExcept summation rather than the incremental tracker.
-	yMinus := inst.NewUFMat()
+func newJacobiEngine(c *Coordinator) *jacobiEngine {
+	return &jacobiEngine{
+		c:      c,
+		yMinus: c.inst.NewUFMat(),
+		next:   model.NewRoutingPolicy(c.inst),
+	}
+}
 
-	res := &RunResult{}
-	var best *model.Solution
-	prevCost := math.Inf(1)
-	for sweep := 0; sweep < c.cfg.MaxSweeps; sweep++ {
-		// All SBSs observe the same pre-round policy (stale state).
-		next := model.NewRoutingPolicy(inst)
-		for n := 0; n < inst.N; n++ {
-			y.AggregateExceptInto(inst, n, yMinus)
-			sub, err := c.subs[n].Solve(yMinus)
+func (e *jacobiEngine) Kind() model.EngineKind { return model.EngineJacobi }
+func (e *jacobiEngine) Close()                 {}
+
+func (e *jacobiEngine) Sweep(st *SweepState, sweep, first int, phaseDone func(int) error) error {
+	if first != 0 {
+		return fmt.Errorf("core: a jacobi round is atomic; cannot resume at phase %d", first)
+	}
+	c, inst := e.c, e.c.inst
+	// All SBSs observe the same pre-round policy (stale state). Every
+	// block of next is overwritten below, so the swapped-in buffer needs
+	// no clearing.
+	for n := 0; n < inst.N; n++ {
+		st.Tracker.YMinusInto(inst, st.Y, n, e.yMinus)
+		sub, err := c.subs[n].Solve(e.yMinus)
+		if err != nil {
+			return err
+		}
+		upload := sub.Routing
+		if c.lppm != nil {
+			upload, err = c.lppm.PerturbSBS(n, sub.Routing)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			upload := sub.Routing
-			if c.lppm != nil {
-				upload, err = c.lppm.PerturbSBS(n, sub.Routing)
-				if err != nil {
-					return nil, err
-				}
-			}
-			x.SetRow(n, sub.Cache)
-			next.SetSBS(n, upload)
 		}
-		repairOverserve(inst, next)
-		y = next
-
-		cost := model.TotalServingCost(inst, y)
-		res.History = append(res.History, cost.Total)
-		res.Sweeps = sweep + 1
-		if best == nil || cost.Total < best.Cost.Total {
-			best = &model.Solution{Caching: x.Clone(), Routing: y.Clone(), Cost: cost}
-		}
-		if cost.Total > 0 && math.Abs(prevCost-cost.Total)/cost.Total <= c.cfg.Gamma {
-			res.Converged = true
-			prevCost = cost.Total
-			break
-		}
-		prevCost = cost.Total
+		st.X.SetRow(n, sub.Cache)
+		e.next.SetSBS(n, upload)
 	}
+	st.Y.Swap(e.next)
+	st.Tracker.RebuildRows(inst, st.Y, 0, inst.U)
+	st.Tracker.RepairOverserveRows(inst, st.Y, 0, inst.U)
+	return nil
+}
 
-	if best == nil {
-		best = &model.Solution{Caching: x, Routing: y, Cost: model.TotalServingCost(inst, y)}
+// RunJacobi executes the reference Jacobi engine through the shared
+// driver, regardless of Config.Engine — the E9/E10 ablations compare it
+// against a Gauss-Seidel run of the same coordinator. Prefer
+// Config.Engine for new code.
+//
+// Convergence is assessed with the same γ rule as Run.
+func (c *Coordinator) RunJacobi() (*RunResult, error) {
+	eng := c.engine
+	if eng.Kind() != model.EngineJacobi {
+		eng = newJacobiEngine(c)
 	}
-	res.Solution = best
-	return res, nil
+	return c.runEngine(eng, NewSweepState(c.inst, identityOrder(c.inst.N)))
 }
 
 // repairOverserve rescales routing proportionally wherever the aggregate
 // Σ_n y_nuf·l_nu exceeds one, restoring constraint (4). Scaling down never
 // violates bandwidth, box or cache constraints.
+//
+// The engines repair through AggregateTracker.RepairOverserveRows, which
+// additionally keeps the running aggregate in sync; this standalone form
+// is the reference definition the tracker path is tested against.
 func repairOverserve(inst *model.Instance, y *model.RoutingPolicy) {
 	agg := y.Aggregate(inst)
 	for u := 0; u < inst.U; u++ {

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"edgecache/internal/model"
+)
+
+// parallelJacobiEngine computes the exact trajectory of the reference
+// jacobiEngine on a persistent worker pool. Parallelism is safe and
+// deterministic by construction:
+//
+//   - Solve phase: the round's sub-problems are claimed dynamically off an
+//     atomic cursor. Each SBS n touches only its own solver workspace
+//     (c.subs[n]), its own caching-policy row (word-disjoint in the packed
+//     bitset) and its own U×F block of the next-round tensor, so distinct
+//     n never share memory. Every input (the pre-round policy and
+//     aggregate) is read-only during the phase.
+//   - LPPM pass: noise draws come from one shared sequential stream, so
+//     the driver goroutine perturbs the uploads alone, in ascending SBS
+//     order — the same draw sequence as the sequential engines. Solves
+//     consume no randomness, so scheduling cannot reorder draws.
+//   - Merge and repair phases: the aggregate rebuild and the overserve
+//     repair are sharded by contiguous user-row ranges. Both accumulate
+//     each (u,f) entry over n in ascending order (see
+//     AggregateTracker.RebuildRows), so the reduction order — and
+//     therefore every floating-point bit — is independent of the worker
+//     count and of scheduling.
+//
+// Workers park between phases on a wake channel and signal a done channel
+// after each phase, giving the engine a barrier per phase; the
+// channel hand-offs also carry the happens-before edges that publish the
+// driver's phase setup to the workers and the workers' writes back.
+type parallelJacobiEngine struct {
+	c       *Coordinator
+	workers int
+
+	// Per-worker y_{-n} scratch; everything else a worker touches is
+	// either read-only or owned by the SBS index or row range it claimed.
+	yMinus []model.Mat
+	next   *model.RoutingPolicy
+
+	// Phase plumbing, written by the driver goroutine before the wake
+	// tokens and read by workers after them.
+	st     *SweepState
+	phase  int
+	cursor atomic.Int64
+	errs   []error
+
+	started bool
+	closed  bool
+	// wake is per-worker: the merge and repair shards are assigned by
+	// worker id, so each worker must run every phase exactly once — a
+	// shared channel would let a fast worker steal a slow one's token and
+	// leave that worker's shard stale.
+	wake []chan struct{}
+	done chan struct{} // one token back per worker per phase
+	quit chan struct{}
+}
+
+// Worker phases of one Jacobi round.
+const (
+	phaseSolve = iota
+	phaseMerge
+	phaseRepair
+)
+
+func newParallelJacobiEngine(c *Coordinator, workers int) *parallelJacobiEngine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &parallelJacobiEngine{
+		c:       c,
+		workers: workers,
+		yMinus:  make([]model.Mat, workers),
+		next:    model.NewRoutingPolicy(c.inst),
+		errs:    make([]error, workers),
+		wake:    make([]chan struct{}, workers),
+		done:    make(chan struct{}, workers),
+		quit:    make(chan struct{}),
+	}
+	for w := range e.yMinus {
+		e.yMinus[w] = c.inst.NewUFMat()
+		e.wake[w] = make(chan struct{}, 1)
+	}
+	return e
+}
+
+func (e *parallelJacobiEngine) Kind() model.EngineKind { return model.EngineParallelJacobi }
+
+// Close stops the worker pool. Idempotent.
+func (e *parallelJacobiEngine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.started {
+		close(e.quit)
+	}
+}
+
+// ensureStarted spawns the pool on first use, so coordinators that never
+// run the parallel engine never own goroutines.
+func (e *parallelJacobiEngine) ensureStarted() error {
+	if e.closed {
+		return fmt.Errorf("core: parallel engine is closed")
+	}
+	if e.started {
+		return nil
+	}
+	e.started = true
+	for w := 0; w < e.workers; w++ {
+		go e.worker(w)
+	}
+	return nil
+}
+
+// worker parks until the driver publishes a phase, runs its share, and
+// reports back. The phase body lives in runPhase so the zero-alloc
+// noalloc closure covers exactly the steady-state work, not the parking.
+func (e *parallelJacobiEngine) worker(w int) {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-e.wake[w]:
+			e.runPhase(w)
+			select {
+			case e.done <- struct{}{}:
+			case <-e.quit:
+				return
+			}
+		}
+	}
+}
+
+// runPhase executes worker w's share of the published phase. It is the
+// steady-state body of the pool and must stay allocation-free: the only
+// state it touches is the pre-sized per-worker scratch, the per-SBS
+// solver workspaces and the flat tensors.
+//
+//edgecache:noalloc
+func (e *parallelJacobiEngine) runPhase(w int) {
+	switch e.phase {
+	case phaseSolve:
+		e.solveShare(w)
+	case phaseMerge:
+		u0, u1 := e.rowRange(w)
+		e.st.Tracker.RebuildRows(e.c.inst, e.st.Y, u0, u1)
+	case phaseRepair:
+		u0, u1 := e.rowRange(w)
+		e.st.Tracker.RepairOverserveRows(e.c.inst, e.st.Y, u0, u1)
+	}
+}
+
+// solveShare claims sub-problems off the shared cursor until the round is
+// drained.
+//
+//edgecache:noalloc
+func (e *parallelJacobiEngine) solveShare(w int) {
+	c, inst, st := e.c, e.c.inst, e.st
+	for {
+		n := int(e.cursor.Add(1)) - 1
+		if n >= inst.N {
+			return
+		}
+		if e.errs[w] != nil {
+			continue // drain the cursor; the round already failed
+		}
+		st.Tracker.YMinusInto(inst, st.Y, n, e.yMinus[w])
+		sub, err := c.subs[n].Solve(e.yMinus[w])
+		if err != nil {
+			e.errs[w] = err
+			continue
+		}
+		st.X.SetRow(n, sub.Cache)
+		e.next.SetSBS(n, sub.Routing)
+	}
+}
+
+// rowRange is worker w's static user-row shard [u0, u1) for the merge and
+// repair phases. Contiguous ranges keep each worker on sequential memory.
+//
+//edgecache:noalloc
+func (e *parallelJacobiEngine) rowRange(w int) (int, int) {
+	u := e.c.inst.U
+	return w * u / e.workers, (w + 1) * u / e.workers
+}
+
+// barrier publishes phase to the pool and blocks until every worker has
+// finished its share.
+func (e *parallelJacobiEngine) barrier(phase int) {
+	e.phase = phase
+	e.cursor.Store(0)
+	for w := 0; w < e.workers; w++ {
+		e.wake[w] <- struct{}{}
+	}
+	for w := 0; w < e.workers; w++ {
+		<-e.done
+	}
+}
+
+func (e *parallelJacobiEngine) Sweep(st *SweepState, sweep, first int, phaseDone func(int) error) error {
+	if first != 0 {
+		return fmt.Errorf("core: a jacobi round is atomic; cannot resume at phase %d", first)
+	}
+	if err := e.ensureStarted(); err != nil {
+		return err
+	}
+	c, inst := e.c, e.c.inst
+	e.st = st
+	for w := range e.errs {
+		e.errs[w] = nil
+	}
+
+	// Solve every sub-problem against the same pre-round aggregate; the
+	// raw uploads land in e.next while st.Y stays frozen as the round's
+	// read-only input.
+	e.barrier(phaseSolve)
+	for _, err := range e.errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Privacy pass: one shared noise stream means one drawer. Ascending
+	// SBS order reproduces the sequential engines' draw sequence exactly.
+	if c.lppm != nil {
+		for n := 0; n < inst.N; n++ {
+			upload, err := c.lppm.PerturbSBS(n, e.next.SBS(n))
+			if err != nil {
+				return err
+			}
+			e.next.SetSBS(n, upload)
+		}
+	}
+
+	st.Y.Swap(e.next)
+	e.barrier(phaseMerge)
+	e.barrier(phaseRepair)
+	e.st = nil
+	return nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"edgecache/internal/model"
+)
+
+// TestParallelSweepZeroAllocsPerWorker pins the steady-state allocation
+// contract of the worker pool: after the pool has spawned and the
+// per-worker scratch and solver workspaces are warm, a full Jacobi round
+// — solve fan-out, aggregate merge, overserve repair — performs zero heap
+// allocations on any goroutine (AllocsPerRun counts process-wide mallocs,
+// so worker allocations are included). Any allocation sneaking into
+// runPhase, solveShare or the tracker row kernels fails this test, in
+// concert with the static noalloc analyzer gate.
+func TestParallelSweepZeroAllocsPerWorker(t *testing.T) {
+	const workers = 4
+	inst := benchScale(workers, 30, 50)
+	c, err := NewCoordinator(inst, parallelCfg(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st := NewSweepState(inst, identityOrder(inst.N))
+
+	round := func() {
+		if err := c.engine.Sweep(st, 0, 0, nil); err != nil {
+			panic(err)
+		}
+		cost := model.TotalServingCostFromAggregate(inst, st.Y, st.Tracker.Aggregate())
+		allocSink = cost.Total
+	}
+
+	// Warm up: spawn the pool, size the solver workspaces.
+	round()
+	round()
+
+	if allocs := testing.AllocsPerRun(10, round); allocs != 0 {
+		t.Fatalf("steady-state parallel round allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestParallelPoolChaosScheduledCrashes hammers the worker pool under a
+// seeded chaos schedule of SBS solver crashes, under -race: on
+// chaos-scheduled rounds one SBS's solver is swapped for a broken one
+// (wrong instance shape, so its Solve fails mid-round while the other
+// workers race through theirs), the round must surface the error without
+// corrupting the pre-round state, and the retried round must put the
+// trajectory back on the reference path bit-for-bit. Three schedules run
+// in parallel to multiply scheduler interleavings.
+func TestParallelPoolChaosScheduledCrashes(t *testing.T) {
+	const rounds = 12
+	for _, seed := range []int64{11, 23, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			inst := randomInstance(rng, 5, 8, 10)
+
+			// Reference trajectory: the same rounds on the sequential
+			// reference engine, undisturbed.
+			ref, err := NewCoordinator(inst, jacobiCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			refSt := NewSweepState(inst, identityOrder(inst.N))
+			var want []float64
+			for sweep := 0; sweep < rounds; sweep++ {
+				if err := ref.engine.Sweep(refSt, sweep, 0, nil); err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, model.TotalServingCostFromAggregate(inst, refSt.Y, refSt.Tracker.Aggregate()).Total)
+			}
+
+			c, err := NewCoordinator(inst, parallelCfg(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			// The "crashed" solver: built for a different instance shape, so
+			// its Solve rejects the real y_{-n} mid-round.
+			broken, err := NewSubproblem(randomInstance(rng, 2, 3, 4), 0, DefaultSubproblemConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			st := NewSweepState(inst, identityOrder(inst.N))
+			crashes := 0
+			var got []float64
+			for sweep := 0; sweep < rounds; sweep++ {
+				// Chaos schedule: the seeded rng decides which SBS crashes
+				// this round, if any. The swap happens on the driver
+				// goroutine between rounds; the barrier channels carry the
+				// happens-before edge to the workers.
+				if rng.Intn(2) == 1 {
+					n := rng.Intn(inst.N)
+					crashes++
+					saved := c.subs[n]
+					c.subs[n] = broken
+					if err := c.engine.Sweep(st, sweep, 0, nil); err == nil {
+						t.Fatalf("sweep %d: crashed SBS %d surfaced no error", sweep, n)
+					}
+					c.subs[n] = saved
+				}
+				if err := c.engine.Sweep(st, sweep, 0, nil); err != nil {
+					t.Fatalf("sweep %d: recovery round: %v", sweep, err)
+				}
+				got = append(got, model.TotalServingCostFromAggregate(inst, st.Y, st.Tracker.Aggregate()).Total)
+			}
+			if crashes == 0 {
+				t.Fatalf("seed %d scheduled no crashes; pick a seed that does", seed)
+			}
+			bitEqualHistories(t, got, want, "chaos-crashed parallel trajectory")
+		})
+	}
+}

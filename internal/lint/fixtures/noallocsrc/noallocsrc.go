@@ -3,7 +3,10 @@
 // driver skips everything under internal/lint/fixtures.
 package noallocsrc
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 const workCap = 16
 
@@ -69,4 +72,49 @@ func Unmarked(n int) []float64 {
 		out[i] = float64(i)
 	}
 	return out
+}
+
+// Pool mimics the parallel sweep engine's worker pool: per-worker
+// workspaces, a shared atomic cursor handing out work items, and phase
+// bodies annotated //edgecache:noalloc. The unannotated worker loop owns
+// the channel parking (sends are not allocation-provable); the annotated
+// phase body is where the closure walk applies.
+type Pool struct {
+	cursor  atomic.Int64
+	scratch [][]float64
+	items   int
+	wake    chan struct{}
+}
+
+// worker is the (unannotated) parking loop: receives are allowed anywhere,
+// and the phase dispatch below carries the noalloc closure.
+func (p *Pool) worker(w int) {
+	for range p.wake {
+		p.RunShare(w)
+		p.leakShare(w)
+	}
+}
+
+// RunShare is a clean steady-state phase body: atomic cursor claims plus
+// writes into the pre-sized per-worker workspace.
+//
+//edgecache:noalloc
+func (p *Pool) RunShare(w int) {
+	buf := p.scratch[w]
+	for {
+		i := int(p.cursor.Add(1)) - 1
+		if i >= p.items {
+			return
+		}
+		buf[i%len(buf)] = math.Sqrt(float64(i))
+	}
+}
+
+// leakShare allocates per work item — the per-worker regression the
+// closure walk must catch even though only the pool loop calls it.
+//
+//edgecache:noalloc
+func (p *Pool) leakShare(w int) {
+	row := make([]float64, p.items) // want `make allocates`
+	p.scratch[w] = row
 }

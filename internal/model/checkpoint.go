@@ -30,8 +30,11 @@ import (
 const (
 	// checkpointMagic identifies a checkpoint file.
 	checkpointMagic = "EDGECKPT"
-	// checkpointVersion is the current format version.
-	checkpointVersion = 1
+	// checkpointVersion is the current format version. Version 2 added the
+	// engine-kind byte after the phase cursor; version-1 snapshots (which
+	// predate pluggable engines and were always Gauss-Seidel) still decode,
+	// with Engine defaulting to EngineGaussSeidel.
+	checkpointVersion = 2
 	// maxCheckpointDim bounds each of N, U, F in a decoded checkpoint; a
 	// hostile header must not drive a huge allocation.
 	maxCheckpointDim = 1 << 20
@@ -65,6 +68,11 @@ type Checkpoint struct {
 	// Sweep and Phase locate the resume point in protocol time.
 	Sweep int
 	Phase int
+	// Engine records the sweep discipline that produced the trajectory.
+	// Resume requires an engine of the same family: a Gauss-Seidel snapshot
+	// cannot continue under a Jacobi engine (the trajectories diverge), but
+	// the reference and parallel Jacobi engines are interchangeable.
+	Engine EngineKind
 	// Order is the SBS update order of the run (identity for the paper's
 	// fixed order; checkpointing rejects shuffled-restart runs).
 	Order []int
@@ -119,6 +127,9 @@ func (c *Checkpoint) preflight() error {
 	}
 	if c.Sweep < 0 || c.Phase < 0 || c.Phase >= n {
 		return fmt.Errorf("model: checkpoint: resume point sweep %d phase %d out of range (N=%d)", c.Sweep, c.Phase, n)
+	}
+	if !c.Engine.Valid() {
+		return fmt.Errorf("model: checkpoint: unknown engine kind %d", c.Engine)
 	}
 	if err := validateOrder(c.Order, n); err != nil {
 		return err
@@ -188,6 +199,7 @@ func (c *Checkpoint) MarshalBinary() ([]byte, error) {
 	w.u64(c.InstanceFP)
 	w.u32(uint32(c.Sweep))
 	w.u32(uint32(c.Phase))
+	w.u8(uint8(c.Engine))
 	w.f64(c.PrevCost)
 	if c.HasNoise {
 		w.u8(1)
@@ -265,8 +277,9 @@ func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
 	}
 
 	r := &ckptReader{buf: body, off: len(checkpointMagic)}
-	if v := r.u16("version"); r.err == nil && v != checkpointVersion {
-		return nil, fmt.Errorf("model: checkpoint: unsupported version %d (want %d)", v, checkpointVersion)
+	version := r.u16("version")
+	if r.err == nil && (version < 1 || version > checkpointVersion) {
+		return nil, fmt.Errorf("model: checkpoint: unsupported version %d (want 1..%d)", version, checkpointVersion)
 	}
 	n := int(r.u32("N"))
 	u := int(r.u32("U"))
@@ -277,6 +290,14 @@ func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
 	ck := &Checkpoint{InstanceFP: r.u64("fingerprint")}
 	ck.Sweep = int(r.u32("sweep"))
 	ck.Phase = int(r.u32("phase"))
+	if version >= 2 {
+		// Version 1 predates pluggable engines; its snapshots were always
+		// produced by the Gauss-Seidel sweep, which the zero value encodes.
+		ck.Engine = EngineKind(r.u8("engine"))
+		if r.err == nil && !ck.Engine.Valid() {
+			return nil, fmt.Errorf("model: checkpoint: unknown engine kind %d", ck.Engine)
+		}
+	}
 	ck.PrevCost = r.f64("prevCost")
 	ck.HasNoise = r.u8("hasNoise") != 0
 	ck.NoiseSeed = r.i64("noiseSeed")

@@ -39,6 +39,7 @@ func testCheckpoint() *Checkpoint {
 		PrevCost:   198.125,
 		Best:       &Solution{Caching: bx, Routing: by, Cost: CostBreakdown{Edge: 10.5, Backhaul: 187.625, Total: 198.125}},
 		Mu:         [][]float64{{0.25, 0.5, 0}, {1e-9}},
+		Engine:     EngineJacobi,
 		HasNoise:   true,
 		NoiseSeed:  42,
 		NoiseDraws: 1234,
@@ -401,8 +402,90 @@ func tryDecode(t *testing.T, data []byte) {
 	if err != nil {
 		t.Fatalf("accepted snapshot failed to re-encode: %v", err)
 	}
-	if !bytes.Equal(out, data) {
-		t.Fatalf("accepted snapshot re-encoded differently (%d vs %d bytes)", len(out), len(data))
+	// Re-encoding always emits the current format version. Inputs already
+	// at the current version must round-trip byte-identically (canonical
+	// encoding); accepted legacy versions migrate forward instead, so for
+	// them the re-encoding must decode back to the same snapshot.
+	version := uint16(data[len(checkpointMagic)]) | uint16(data[len(checkpointMagic)+1])<<8
+	if version == checkpointVersion {
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted snapshot re-encoded differently (%d vs %d bytes)", len(out), len(data))
+		}
+		return
+	}
+	again, err := UnmarshalCheckpoint(out)
+	if err != nil {
+		t.Fatalf("migrated v%d snapshot failed to decode: %v", version, err)
+	}
+	if !reflect.DeepEqual(ck, again) {
+		t.Fatalf("migrating a v%d snapshot changed its contents", version)
+	}
+}
+
+// engineByteOffset is where the version-2 engine-kind byte sits: after
+// magic, version, the three dims, the fingerprint and the sweep/phase
+// cursor.
+const engineByteOffset = len(checkpointMagic) + 2 + 3*4 + 8 + 4 + 4
+
+// legacyV1Encode re-encodes ck in the version-1 layout (no engine byte) by
+// splicing the byte out of the current encoding and resealing the CRC. The
+// snapshot must be a Gauss-Seidel one — version 1 could express nothing
+// else.
+func legacyV1Encode(t *testing.T, ck *Checkpoint) []byte {
+	t.Helper()
+	if ck.Engine != EngineGaussSeidel {
+		t.Fatalf("version 1 cannot encode engine %v", ck.Engine)
+	}
+	data, err := ck.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := append([]byte(nil), data[:engineByteOffset]...)
+	v1 = append(v1, data[engineByteOffset+1:]...)
+	v1[len(checkpointMagic)] = 1
+	v1[len(checkpointMagic)+1] = 0
+	resealCRC(v1)
+	return v1
+}
+
+func TestCheckpointDecodeV1Legacy(t *testing.T) {
+	ck := testCheckpoint()
+	ck.Engine = EngineGaussSeidel
+	v1 := legacyV1Encode(t, ck)
+	got, err := UnmarshalCheckpoint(v1)
+	if err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	if got.Engine != EngineGaussSeidel {
+		t.Errorf("version-1 snapshot decoded engine %v, want gauss-seidel", got.Engine)
+	}
+	if !reflect.DeepEqual(ck, got) {
+		t.Errorf("version-1 decode changed the snapshot:\n got %+v\nwant %+v", got, ck)
+	}
+	// Migration path: re-encoding emits version 2, which must round-trip.
+	migrated, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := UnmarshalCheckpoint(migrated)
+	if err != nil {
+		t.Fatalf("migrated snapshot rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Error("migrating the v1 snapshot to v2 changed its contents")
+	}
+}
+
+func TestCheckpointRejectsUnknownEngine(t *testing.T) {
+	data, err := testCheckpoint().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), data...)
+	mut[engineByteOffset] = 0x7f
+	resealCRC(mut)
+	if _, err := UnmarshalCheckpoint(mut); err == nil || !strings.Contains(err.Error(), "engine") {
+		t.Errorf("unknown engine kind: got %v", err)
 	}
 }
 
@@ -433,6 +516,10 @@ func TestRegenCorpus(t *testing.T) {
 	oversized[off], oversized[off+1], oversized[off+2], oversized[off+3] = 0xff, 0xff, 0xff, 0xff
 	resealCRC(oversized)
 	writeCorpusEntry(t, "FuzzSnapshot", "seed-oversized-health-len", oversized)
+
+	legacy := testCheckpoint()
+	legacy.Engine = EngineGaussSeidel
+	writeCorpusEntry(t, "FuzzSnapshot", "seed-v1-legacy", legacyV1Encode(t, legacy))
 }
 
 // writeCorpusEntry writes one []byte seed in the `go test fuzz v1` format

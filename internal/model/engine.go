@@ -1,0 +1,92 @@
+package model
+
+import "fmt"
+
+// EngineKind identifies the sweep engine that produced a run or a
+// checkpoint. It lives in the model package (not internal/core, which
+// implements the engines) because the checkpoint codec serializes it: a
+// snapshot records which update discipline produced its trajectory, and
+// resume must replay the same discipline to stay bit-identical.
+type EngineKind uint8
+
+const (
+	// EngineGaussSeidel is the paper's Algorithm 1: SBSs update one at a
+	// time, each observing every earlier update of the same sweep.
+	EngineGaussSeidel EngineKind = iota
+	// EngineJacobi is the sequential reference implementation of the
+	// parallel-update variant (§VII): every SBS of a round solves against
+	// the same pre-round aggregate, then the BS repairs over-serving.
+	EngineJacobi
+	// EngineParallelJacobi is the goroutine-sharded implementation of the
+	// same discipline: identical trajectory to EngineJacobi, computed by a
+	// worker pool. The two share a checkpoint family.
+	EngineParallelJacobi
+
+	// engineKindCount bounds the valid range for codec validation.
+	engineKindCount
+)
+
+// EngineFamily groups engines whose trajectories are interchangeable: a
+// checkpoint taken under one engine can resume under another of the same
+// family bit-identically.
+type EngineFamily int
+
+const (
+	// FamilyGaussSeidel covers the sequential Gauss-Seidel sweep.
+	FamilyGaussSeidel EngineFamily = iota
+	// FamilyJacobi covers the reference and parallel Jacobi engines, which
+	// compute the same trajectory by construction.
+	FamilyJacobi
+)
+
+// Valid reports whether k is a known engine kind.
+func (k EngineKind) Valid() bool { return k < engineKindCount }
+
+// Family returns the trajectory family of the engine.
+func (k EngineKind) Family() EngineFamily {
+	if k == EngineGaussSeidel {
+		return FamilyGaussSeidel
+	}
+	return FamilyJacobi
+}
+
+// String names the engine kind; the names double as the CLI -engine values.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineGaussSeidel:
+		return "gs"
+	case EngineJacobi:
+		return "jacobi"
+	case EngineParallelJacobi:
+		return "parallel"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// String names the family for error messages.
+func (f EngineFamily) String() string {
+	switch f {
+	case FamilyGaussSeidel:
+		return "gauss-seidel"
+	case FamilyJacobi:
+		return "jacobi"
+	default:
+		return fmt.Sprintf("EngineFamily(%d)", int(f))
+	}
+}
+
+// ParseEngineKind maps a CLI -engine value ("gs", "jacobi", "parallel")
+// back to its kind. "gauss-seidel" is accepted as a spelled-out alias.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "gs", "gauss-seidel":
+		return EngineGaussSeidel, nil
+	case "jacobi":
+		return EngineJacobi, nil
+	case "parallel":
+		return EngineParallelJacobi, nil
+	default:
+		return 0, fmt.Errorf("model: unknown engine %q (want gs, jacobi or parallel)", s)
+	}
+}

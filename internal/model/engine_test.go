@@ -1,0 +1,106 @@
+package model
+
+import "testing"
+
+func TestEngineKindRoundTrip(t *testing.T) {
+	for _, k := range []EngineKind{EngineGaussSeidel, EngineJacobi, EngineParallelJacobi} {
+		got, err := ParseEngineKind(k.String())
+		if err != nil {
+			t.Errorf("ParseEngineKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseEngineKind(%q) = %v, want %v", k.String(), got, k)
+		}
+		if !k.Valid() {
+			t.Errorf("%v reported invalid", k)
+		}
+	}
+	if _, err := ParseEngineKind("simplex"); err == nil {
+		t.Error("unknown engine name accepted")
+	}
+	if EngineKind(17).Valid() {
+		t.Error("out-of-range kind reported valid")
+	}
+}
+
+func TestEngineKindFamily(t *testing.T) {
+	if EngineGaussSeidel.Family() != FamilyGaussSeidel {
+		t.Error("gauss-seidel engine not in gauss-seidel family")
+	}
+	if EngineJacobi.Family() != FamilyJacobi || EngineParallelJacobi.Family() != FamilyJacobi {
+		t.Error("jacobi engines must share the jacobi family")
+	}
+	if FamilyGaussSeidel.String() == FamilyJacobi.String() {
+		t.Error("family names collide")
+	}
+}
+
+func TestRoutingPolicySwap(t *testing.T) {
+	in := testInstance()
+	a := NewRoutingPolicy(in)
+	b := NewRoutingPolicy(in)
+	a.Set(0, 0, 0, 0.5)
+	b.Set(1, 1, 1, 0.25)
+	a.Swap(b)
+	if a.At(1, 1, 1) != 0.25 || b.At(0, 0, 0) != 0.5 {
+		t.Error("Swap did not exchange the backing tensors")
+	}
+	if a.At(0, 0, 0) != 0 || b.At(1, 1, 1) != 0 {
+		t.Error("Swap left stale values behind")
+	}
+}
+
+func TestTrackerRebuildRowsMatchesAggregateInto(t *testing.T) {
+	in := testInstance()
+	y := NewRoutingPolicy(in)
+	y.Set(0, 0, 0, 0.375)
+	y.Set(1, 1, 3, 0.625)
+	y.Set(1, 0, 2, 0.125)
+	want := y.Aggregate(in)
+
+	tr := NewAggregateTracker(in)
+	// Rebuild in two disjoint shards; the result must be bit-identical to
+	// the one-shot AggregateInto order.
+	mid := in.U / 2
+	tr.RebuildRows(in, y, 0, mid)
+	tr.RebuildRows(in, y, mid, in.U)
+	got := tr.Aggregate()
+	for u := 0; u < in.U; u++ {
+		for f := 0; f < in.F; f++ {
+			if got.At(u, f) != want.At(u, f) {
+				t.Fatalf("sharded rebuild differs at (%d,%d): %v vs %v", u, f, got.At(u, f), want.At(u, f))
+			}
+		}
+	}
+}
+
+func TestTrackerRepairOverserveRows(t *testing.T) {
+	in := testInstance()
+	y := NewRoutingPolicy(in)
+	// Overserve (u,f) = (0,0) through every linked SBS.
+	for n := 0; n < in.N; n++ {
+		if in.Links[n][0] {
+			y.Set(n, 0, 0, 0.9)
+		}
+	}
+	tr := NewAggregateTracker(in)
+	tr.RebuildRows(in, y, 0, in.U)
+	if tr.Aggregate().At(0, 0) <= 1 {
+		t.Skip("test instance does not overserve; need ≥2 links on user 0")
+	}
+	tr.RepairOverserveRows(in, y, 0, in.U)
+	// The repaired aggregate must equal a fresh rebuild of the repaired
+	// policy bit-for-bit, and must no longer overserve (up to the repair
+	// slack).
+	fresh := y.Aggregate(in)
+	for u := 0; u < in.U; u++ {
+		for f := 0; f < in.F; f++ {
+			if tr.Aggregate().At(u, f) != fresh.At(u, f) {
+				t.Fatalf("repaired aggregate differs from rebuild at (%d,%d)", u, f)
+			}
+			if fresh.At(u, f) > 1+1e-9 {
+				t.Fatalf("overserve survived repair at (%d,%d): %v", u, f, fresh.At(u, f))
+			}
+		}
+	}
+}

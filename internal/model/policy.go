@@ -415,6 +415,81 @@ func (t *AggregateTracker) Install(in *Instance, y *RoutingPolicy, n int, yMinus
 	}
 }
 
+// Swap exchanges the backing tensors of p and o without copying. The
+// Jacobi engines use it at the end of a round to promote the freshly
+// written next-round policy while recycling the previous round's storage
+// as the next scratch buffer. Shapes must match.
+//
+//edgecache:noalloc
+func (p *RoutingPolicy) Swap(o *RoutingPolicy) {
+	if p.T.N != o.T.N || p.T.U != o.T.U || p.T.F != o.T.F {
+		panic(fmt.Sprintf("model: Swap shape mismatch: %dx%dx%d vs %dx%dx%d",
+			p.T.N, p.T.U, p.T.F, o.T.N, o.T.U, o.T.F))
+	}
+	p.T, o.T = o.T, p.T
+}
+
+// RebuildRows recomputes the aggregate rows u ∈ [u0, u1) from y. Each
+// entry is accumulated over n in ascending order — the same per-entry
+// floating-point order as AggregateInto — so rebuilding the full range in
+// one call, or sharding disjoint row ranges across goroutines, produces
+// bit-identical results regardless of the partitioning. This is the merge
+// step of the Jacobi round: the per-SBS blocks were written concurrently,
+// and the reduction order is fixed by construction, not by scheduling.
+//
+//edgecache:noalloc
+func (t *AggregateTracker) RebuildRows(in *Instance, y *RoutingPolicy, u0, u1 int) {
+	for u := u0; u < u1; u++ {
+		aggRow := t.agg.Row(u)
+		for f := range aggRow {
+			aggRow[f] = 0
+		}
+		for n := 0; n < in.N; n++ {
+			if !in.Links[n][u] {
+				continue
+			}
+			srcRow := y.T.SBSRow(n).Row(u)
+			for f := range aggRow {
+				aggRow[f] += srcRow[f]
+			}
+		}
+	}
+}
+
+// RepairOverserveRows restores the no-overserve constraint (4) on rows
+// u ∈ [u0, u1): wherever the aggregate exceeds one, every SBS's share of
+// that demand is scaled down proportionally, and the aggregate entry is
+// then recomputed from the repaired values with the same n-ascending
+// per-entry order as RebuildRows. The recompute (rather than writing 1.0)
+// keeps the tracker bit-identical to a full AggregateInto rebuild of the
+// repaired policy, which is what keeps tracker-based cost evaluation
+// bit-equal to the reference TotalServingCost path. Disjoint row ranges
+// touch disjoint policy and aggregate memory, so shards may run
+// concurrently.
+//
+//edgecache:noalloc
+func (t *AggregateTracker) RepairOverserveRows(in *Instance, y *RoutingPolicy, u0, u1 int) {
+	for u := u0; u < u1; u++ {
+		aggRow := t.agg.Row(u)
+		for f := range aggRow {
+			if aggRow[f] <= 1+1e-12 {
+				continue
+			}
+			factor := 1 / aggRow[f]
+			var sum float64
+			for n := 0; n < in.N; n++ {
+				if !in.Links[n][u] {
+					continue
+				}
+				row := y.T.SBSRow(n).Row(u)
+				row[f] *= factor
+				sum += row[f]
+			}
+			aggRow[f] = sum
+		}
+	}
+}
+
 // Solution bundles one pair of caching and routing policies together with
 // the serving cost it achieves.
 type Solution struct {

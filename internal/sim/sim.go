@@ -27,7 +27,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"time"
 
 	"edgecache/internal/core"
@@ -180,6 +179,9 @@ func (b *BSAgent) Resume(ctx context.Context, ck *model.Checkpoint) (*core.RunRe
 	if ck.Phase != 0 {
 		return nil, fmt.Errorf("sim: BS agent resumes at sweep boundaries only, got phase %d", ck.Phase)
 	}
+	if ck.Engine.Family() != model.FamilyGaussSeidel {
+		return nil, fmt.Errorf("sim: checkpoint records a %v-family engine; the BS protocol is a Gauss-Seidel sweep and cannot resume a %v run", ck.Engine.Family(), ck.Engine)
+	}
 	for i, v := range ck.Order {
 		if v != i {
 			return nil, fmt.Errorf("sim: BS agent sweeps SBSs in identity order; checkpoint order has %d at position %d", v, i)
@@ -188,153 +190,168 @@ func (b *BSAgent) Resume(ctx context.Context, ck *model.Checkpoint) (*core.RunRe
 	return b.run(ctx, ck)
 }
 
-func (b *BSAgent) run(ctx context.Context, ck *model.Checkpoint) (*core.RunResult, error) {
-	inst := b.inst
-	x := model.NewCachingPolicy(inst)
-	y := model.NewRoutingPolicy(inst)
+// bsSweeper is the network-backed core.SweepEngine: one Sweep call runs
+// one full protocol sweep (announce/await/apply per SBS, with the
+// quarantine and probe machinery). The BS thereby shares the exact outer
+// loop — cost evaluation, best tracking, γ stop, checkpoint cadence — with
+// the in-process Coordinator via core.Driver, which is what keeps the two
+// deployments bit-for-bit equivalent with privacy off. Like the Jacobi
+// engines it never calls phaseDone: the BS's γ-deferral state is
+// intra-sweep and not captured, so checkpoints happen at sweep boundaries
+// only (BSConfig.Checkpoint documents that EachPhase is ignored).
+type bsSweeper struct {
+	b   *BSAgent
+	ctx context.Context
+	// yMinus is the per-phase O(U·F) scratch, exactly like the in-process
+	// engines: the aggregate advances only when an upload is installed.
+	yMinus model.Mat
+	faults []core.SBSFaultStats
+	// sweepMissed records whether a live (non-quarantined) SBS missed its
+	// phase in the sweep just executed; a frozen policy makes the cost
+	// spuriously flat, so such sweeps must not satisfy the γ-criterion.
+	sweepMissed bool
+}
 
-	// The BS maintains the masked aggregate incrementally, exactly like
-	// core.Coordinator (same operation order keeps the two deployments
-	// bit-for-bit equivalent): y_{-n} is derived in O(U·F) per phase and
-	// the aggregate advances only when an upload is actually installed.
-	tracker := model.NewAggregateTracker(inst)
-	yMinus := inst.NewUFMat()
+func (s *bsSweeper) Kind() model.EngineKind { return model.EngineGaussSeidel }
+func (s *bsSweeper) Close()                 {}
 
-	res := &core.RunResult{Faults: make([]core.SBSFaultStats, inst.N)}
-	var best *model.Solution
-	prevCost := math.Inf(1)
-	startSweep := 0
-	if ck != nil {
-		startSweep = ck.Sweep
-		x = ck.Caching.Clone()
-		y = ck.Routing.Clone()
-		tracker.Restore(ck.Aggregate)
-		res.History = append([]float64(nil), ck.History...)
-		res.Sweeps = len(res.History)
-		prevCost = ck.PrevCost
-		best = ck.Best.Clone()
-		b.restoreHealth(ck.Health, res.Faults)
-		b.stateSync(ctx, ck)
+// holdConvergence implements the driver veto: the γ-criterion is deferred
+// on sweeps where a live SBS missed and while any freshly-quarantined SBS
+// awaits its first rejoin probe — in both cases the cost is flat only
+// because policies are frozen, not because the algorithm has converged.
+func (s *bsSweeper) holdConvergence() bool {
+	if s.sweepMissed {
+		return true
 	}
-	ckpt := b.cfg.Checkpoint
-	every := 1
-	if ckpt != nil && ckpt.EverySweeps > 0 {
-		every = ckpt.EverySweeps
+	for n := range s.b.health {
+		if s.b.health[n].holdConv {
+			return true
+		}
 	}
-	for sweep := startSweep; sweep < b.cfg.MaxSweeps; sweep++ {
-		// sweepMissed records whether a live (non-quarantined) SBS missed
-		// its phase this sweep; a frozen policy makes the cost spuriously
-		// flat, so such sweeps must not satisfy the γ-criterion.
-		sweepMissed := false
-		for n := 0; n < inst.N; n++ {
-			h := &b.health[n]
-			fs := &res.Faults[n]
+	return false
+}
 
-			// Quarantined SBSs are skipped outright — no announce, no
-			// PhaseTimeout burned — until their probe sweep comes up;
-			// then one cheap probe (ProbeTimeout) decides rejoin vs
-			// another quarantine span.
-			probing := false
-			timeout := b.cfg.PhaseTimeout
-			if h.quarantined {
-				if sweep < h.probeSweep {
-					fs.SkippedPhases++
-					continue
-				}
-				probing = true
-				timeout = b.cfg.ProbeTimeout
-			}
+func (s *bsSweeper) Sweep(st *core.SweepState, sweep, first int, _ func(int) error) error {
+	b, inst := s.b, s.b.inst
+	s.sweepMissed = false
+	for pi := first; pi < len(st.Order); pi++ {
+		n := st.Order[pi] // identity order, validated at Resume
+		h := &b.health[n]
+		fs := &s.faults[n]
 
-			tracker.YMinusInto(inst, y, n, yMinus)
-			announce, err := buildAnnounce(sweep, n, yMinus)
-			if err != nil {
-				return nil, err
+		// Quarantined SBSs are skipped outright — no announce, no
+		// PhaseTimeout burned — until their probe sweep comes up;
+		// then one cheap probe (ProbeTimeout) decides rejoin vs
+		// another quarantine span.
+		probing := false
+		timeout := b.cfg.PhaseTimeout
+		if h.quarantined {
+			if sweep < h.probeSweep {
+				fs.SkippedPhases++
+				continue
 			}
-			b.sendAnnounce(ctx, sweep, n, announce)
-			upload, ok, err := b.awaitUpload(ctx, sweep, n, timeout, fs, announce)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				// SBS unreachable this phase: keep its old policy.
-				if probing {
-					fs.FailedProbes++
+			probing = true
+			timeout = b.cfg.ProbeTimeout
+		}
+
+		st.Tracker.YMinusInto(inst, st.Y, n, s.yMinus)
+		announce, err := buildAnnounce(sweep, n, s.yMinus)
+		if err != nil {
+			return err
+		}
+		b.sendAnnounce(s.ctx, sweep, n, announce)
+		upload, ok, err := b.awaitUpload(s.ctx, sweep, n, timeout, fs, announce)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// SBS unreachable this phase: keep its old policy.
+			if probing {
+				fs.FailedProbes++
+				fs.QuarantineSpans++
+				h.probeSweep = sweep + b.cfg.QuarantineSweeps + 1
+				// The first probe of the outage went unanswered: the
+				// SBS is treated as persistently dead and no longer
+				// delays convergence.
+				h.holdConv = false
+				b.event(EventProbeFailed, n, sweep, n, nil)
+				b.event(EventQuarantine, n, sweep, n, nil)
+			} else {
+				fs.Misses++
+				h.consecMisses++
+				s.sweepMissed = true
+				b.event(EventUploadTimeout, n, sweep, n, nil)
+				if b.cfg.QuarantineAfter > 0 && h.consecMisses >= b.cfg.QuarantineAfter {
+					h.quarantined = true
+					h.consecMisses = 0
 					fs.QuarantineSpans++
 					h.probeSweep = sweep + b.cfg.QuarantineSweeps + 1
-					// The first probe of the outage went unanswered: the
-					// SBS is treated as persistently dead and no longer
-					// delays convergence.
-					h.holdConv = false
-					b.event(EventProbeFailed, n, sweep, n, nil)
+					h.holdConv = true
 					b.event(EventQuarantine, n, sweep, n, nil)
-				} else {
-					fs.Misses++
-					h.consecMisses++
-					sweepMissed = true
-					b.event(EventUploadTimeout, n, sweep, n, nil)
-					if b.cfg.QuarantineAfter > 0 && h.consecMisses >= b.cfg.QuarantineAfter {
-						h.quarantined = true
-						h.consecMisses = 0
-						fs.QuarantineSpans++
-						h.probeSweep = sweep + b.cfg.QuarantineSweeps + 1
-						h.holdConv = true
-						b.event(EventQuarantine, n, sweep, n, nil)
-					}
 				}
-				continue
 			}
-			if h.quarantined {
-				h.quarantined = false
-				h.holdConv = false
-				b.event(EventRejoin, n, sweep, n, nil)
-			}
-			h.consecMisses = 0
-			if err := b.applyUpload(x, y, tracker, n, yMinus, upload); err != nil {
-				// A malformed upload is treated like a missing one; the
-				// previous policy stays in force (and the aggregate is left
-				// untouched, so the tracker stays consistent with y).
-				fs.Malformed++
-				b.event(EventMalformedUpload, n, sweep, n, err)
-				continue
-			}
+			continue
 		}
-		cost := model.TotalServingCostFromAggregate(inst, y, tracker.Aggregate())
-		res.History = append(res.History, cost.Total)
-		res.Sweeps = sweep + 1
-		// Mirror core.Coordinator: the BS keeps the cheapest policy it has
-		// evaluated (identical to the final sweep when noise is off).
-		if best == nil || cost.Total < best.Cost.Total {
-			best = &model.Solution{Caching: x.Clone(), Routing: y.Clone(), Cost: cost}
+		if h.quarantined {
+			h.quarantined = false
+			h.holdConv = false
+			b.event(EventRejoin, n, sweep, n, nil)
 		}
-		// The γ-criterion is deferred on sweeps where a live SBS missed
-		// and while any freshly-quarantined SBS awaits its first rejoin
-		// probe — in both cases the cost is flat only because policies are
-		// frozen, not because the algorithm has converged.
-		hold := sweepMissed
-		for n := range b.health {
-			hold = hold || b.health[n].holdConv
-		}
-		if !hold && cost.Total > 0 && math.Abs(prevCost-cost.Total)/cost.Total <= b.cfg.Gamma {
-			res.Converged = true
-			prevCost = cost.Total
-			break
-		}
-		prevCost = cost.Total
-		// Sweep-boundary snapshot. The cadence is anchored at absolute
-		// sweep numbers so a resumed run captures at the same boundaries
-		// as the original.
-		if ckpt != nil && (sweep+1)%every == 0 {
-			if err := b.snapshot(ckpt.Sink, x, y, tracker, res, prevCost, best, sweep+1); err != nil {
-				return nil, err
-			}
+		h.consecMisses = 0
+		if err := b.applyUpload(st.X, st.Y, st.Tracker, n, s.yMinus, upload); err != nil {
+			// A malformed upload is treated like a missing one; the
+			// previous policy stays in force (and the aggregate is left
+			// untouched, so the tracker stays consistent with y).
+			fs.Malformed++
+			b.event(EventMalformedUpload, n, sweep, n, err)
+			continue
 		}
 	}
+	return nil
+}
 
-	b.broadcastDone(ctx)
-	if best == nil {
-		best = &model.Solution{Caching: x, Routing: y, Cost: model.TotalServingCost(inst, y)}
+func (b *BSAgent) run(ctx context.Context, ck *model.Checkpoint) (*core.RunResult, error) {
+	inst := b.inst
+	order := make([]int, inst.N)
+	for i := range order {
+		order[i] = i
 	}
-	res.Solution = best
+	st := core.NewSweepState(inst, order)
+	sweeper := &bsSweeper{b: b, ctx: ctx, yMinus: inst.NewUFMat(),
+		faults: make([]core.SBSFaultStats, inst.N)}
+	if ck != nil {
+		st.Sweep = ck.Sweep
+		st.X = ck.Caching.Clone()
+		st.Y = ck.Routing.Clone()
+		st.Tracker.Restore(ck.Aggregate)
+		st.History = append([]float64(nil), ck.History...)
+		st.PrevCost = ck.PrevCost
+		st.Best = ck.Best.Clone()
+		b.restoreHealth(ck.Health, sweeper.faults)
+		b.stateSync(ctx, ck)
+	}
+	d := &core.Driver{
+		Inst:            inst,
+		Gamma:           b.cfg.Gamma,
+		MaxSweeps:       b.cfg.MaxSweeps,
+		HoldConvergence: sweeper.holdConvergence,
+	}
+	if ckpt := b.cfg.Checkpoint; ckpt != nil {
+		// Sweep-boundary snapshots only: bsSweeper never calls phaseDone,
+		// so the driver's EachPhase hook is inert even if set. Unlike
+		// core.Coordinator the BS also records per-SBS health and fault
+		// accounting.
+		d.Checkpoint = ckpt
+		d.Snapshot = func(st *core.SweepState, res *core.RunResult, sweep, _ int) error {
+			return b.snapshot(ckpt.Sink, st, res, sweeper.faults, sweep)
+		}
+	}
+	res, err := d.Run(sweeper, st)
+	if err != nil {
+		return nil, err
+	}
+	res.Faults = sweeper.faults
+	b.broadcastDone(ctx)
 	return res, nil
 }
 
@@ -461,23 +478,20 @@ func (b *BSAgent) broadcastDone(ctx context.Context) {
 // to the sink. Unlike core.Coordinator the BS agent also records per-SBS
 // health and fault accounting, so a resumed BS keeps quarantine spans and
 // probe schedules instead of re-learning which SBSs are dead.
-func (b *BSAgent) snapshot(sink model.CheckpointSink, x *model.CachingPolicy, y *model.RoutingPolicy,
-	tracker *model.AggregateTracker, res *core.RunResult, prevCost float64, best *model.Solution, sweep int) error {
-	order := make([]int, b.inst.N)
-	for i := range order {
-		order[i] = i
-	}
+func (b *BSAgent) snapshot(sink model.CheckpointSink, st *core.SweepState, res *core.RunResult,
+	faults []core.SBSFaultStats, sweep int) error {
 	ck := &model.Checkpoint{
 		Sweep:      sweep,
 		Phase:      0,
-		Order:      order,
-		Caching:    x.Clone(),
-		Routing:    y.Clone(),
-		Aggregate:  tracker.Aggregate().Clone(),
+		Engine:     model.EngineGaussSeidel,
+		Order:      append([]int(nil), st.Order...),
+		Caching:    st.X.Clone(),
+		Routing:    st.Y.Clone(),
+		Aggregate:  st.Tracker.Aggregate().Clone(),
 		History:    append([]float64(nil), res.History...),
-		PrevCost:   prevCost,
-		Best:       best.Clone(),
-		Health:     b.healthSnapshot(res.Faults),
+		PrevCost:   st.PrevCost,
+		Best:       st.Best.Clone(),
+		Health:     b.healthSnapshot(faults),
 		InstanceFP: b.inst.Fingerprint(),
 	}
 	if err := sink.Save(ck); err != nil {

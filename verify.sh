@@ -37,6 +37,12 @@ echo "verify: crash-resume recovery gate (-race)"
 go test -race -run 'Resume|Checkpoint|BSCrash|StateSync|ReplyCache|NoiseSource' \
 	./internal/model ./internal/core ./internal/sim ./internal/chaos
 
+# Parallel sweep-engine gate: the worker pool's determinism and crash
+# recovery run under -race before the broad suites — a data race in the
+# pool invalidates the bit-identity guarantee the engines are built on.
+echo "verify: parallel sweep-engine gate (-race)"
+go test -race -run 'TestParallel|TestEngine|TestJacobi|TestRunJacobi' ./internal/core
+
 echo "verify: go test -race ./internal/core/... ./internal/sim/... ./internal/transport/..."
 go test -race ./internal/core/... ./internal/sim/... ./internal/transport/...
 
