@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"edgecache/internal/chaos"
+	"edgecache/internal/cluster"
+	"edgecache/internal/experiments"
+	"edgecache/internal/model"
+)
+
+// runCluster is the -cluster supervisor mode: load the cell spec, build or
+// load each cell's instance, and supervise one multi-process run. The exit
+// status is non-zero when any cell failed, so CI gates on it directly.
+func runCluster(cellsPath, procSpec, runDir string) error {
+	if cellsPath == "" {
+		return fmt.Errorf("-cluster requires -cells")
+	}
+	f, err := os.Open(cellsPath)
+	if err != nil {
+		return err
+	}
+	spec, err := model.ReadClusterSpec(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var procs chaos.ProcSchedule
+	if procSpec != "" {
+		if procs, err = chaos.ParseProcSpec(procSpec); err != nil {
+			return err
+		}
+	}
+	if runDir == "" {
+		if runDir, err = os.MkdirTemp("", "edgesim-cluster-"); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("cluster: %d cells, run dir %s\n", len(spec.Cells), runDir)
+
+	insts := make([]*model.Instance, len(spec.Cells))
+	for i, c := range spec.Cells {
+		if insts[i], err = buildCellInstance(c); err != nil {
+			return fmt.Errorf("cell %q: %w", c.Name, err)
+		}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	sup, err := cluster.NewSupervisor(cluster.Config{
+		Spec:      *spec,
+		Instances: insts,
+		Command:   []string{exe},
+		RunDir:    runDir,
+		Proc:      procs,
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	res, runErr := sup.Run(context.Background())
+	if res != nil {
+		for _, c := range res.Cells {
+			if c.Completed {
+				fmt.Printf("  %s: converged=%v sweeps=%d cost=%.1f (restarts: bs=%d sbs=%d)\n",
+					c.Name, c.Result.Converged, c.Result.Sweeps, c.Result.CostTotal,
+					c.BSRestarts, c.SBSRestarts)
+				if len(c.Escalated) > 0 {
+					fmt.Printf("  %s: permanently down: %v\n", c.Name, c.Escalated)
+				}
+			} else {
+				fmt.Printf("  %s: FAILED: %s\n", c.Name, c.Failure)
+			}
+		}
+		for _, fp := range res.Fired {
+			fmt.Printf("  fault fired: %v (cell at sweep %d)\n", fp.Event, fp.AtSweep)
+		}
+		for _, ue := range res.Unfired {
+			fmt.Printf("  fault never triggered: %v\n", ue)
+		}
+	}
+	return runErr
+}
+
+// buildCellInstance resolves one cell's instance: an explicit instance
+// file wins; otherwise the cell's scenario knobs override the paper
+// defaults.
+func buildCellInstance(c model.ClusterCell) (*model.Instance, error) {
+	if c.Instance != "" {
+		f, err := os.Open(c.Instance)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return model.ReadJSON(f)
+	}
+	sc := experiments.DefaultScenario()
+	sc.SBSs = c.SBSs
+	if c.Seed != 0 {
+		sc.Seed = c.Seed
+	}
+	if c.Groups > 0 {
+		sc.Groups = c.Groups
+	}
+	if c.Links > 0 {
+		sc.LinkCount = c.Links
+	}
+	if c.Videos > 0 {
+		sc.Videos = c.Videos
+	}
+	if c.CacheCap > 0 {
+		sc.CachePerSBS = c.CacheCap
+	}
+	if c.Bandwidth > 0 {
+		sc.Bandwidth = c.Bandwidth
+	}
+	return sc.Build()
+}

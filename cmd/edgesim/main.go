@@ -13,6 +13,11 @@
 //	edgesim -engine parallel -workers 8    # goroutine-sharded Jacobi worker pool
 //	edgesim -checkpoint-dir ckpt     # snapshot sweep state for crash recovery
 //	edgesim -checkpoint-dir ckpt -resume   # continue from the newest snapshot
+//	edgesim -cluster -cells cells.json     # multi-process cluster (supervisor mode)
+//	edgesim -cluster -cells cells.json -proc-chaos "kill=cell-1@2"  # with process faults
+//
+// With -cluster the binary becomes a supervisor that re-executes itself as
+// agent processes (`edgesim -role bs|sbs ...`, an internal sub-entrypoint).
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 
 	"edgecache/internal/baseline"
 	"edgecache/internal/chaos"
+	"edgecache/internal/cluster"
 	"edgecache/internal/core"
 	"edgecache/internal/dp"
 	"edgecache/internal/experiments"
@@ -41,6 +47,13 @@ func main() {
 }
 
 func run(args []string) error {
+	// Agent sub-entrypoint: the cluster supervisor launches this same
+	// binary with "-role bs|sbs" as the first argument; everything after
+	// is agent flags. Checked before flag parsing so the agent flag set
+	// stays private to the cluster package.
+	if len(args) > 0 && args[0] == "-role" {
+		return cluster.AgentMain(args)
+	}
 	fs := flag.NewFlagSet("edgesim", flag.ContinueOnError)
 	var (
 		sbss        = fs.Int("sbss", 3, "number of SBSs")
@@ -68,9 +81,19 @@ func run(args []string) error {
 		ckptDir     = fs.String("checkpoint-dir", "", "snapshot sweep state into this directory at every sweep boundary (in-process mode)")
 		ckptRetain  = fs.Int("checkpoint-retain", 3, "how many snapshots -checkpoint-dir keeps (0 keeps all)")
 		resume      = fs.Bool("resume", false, "continue from the newest snapshot in -checkpoint-dir instead of starting cold")
+		clusterMode = fs.Bool("cluster", false, "supervise a multi-process cluster per the -cells spec")
+		cellsPath   = fs.String("cells", "", "cluster spec JSON for -cluster")
+		procChaos   = fs.String("proc-chaos", "", "process-fault schedule for -cluster, e.g. \"kill=cell-1@2,stop=cell-0.1@1+100ms\"")
+		runDir      = fs.String("run-dir", "", "cluster run directory for -cluster (default: a fresh temp dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *clusterMode {
+		return runCluster(*cellsPath, *procChaos, *runDir)
+	}
+	if *cellsPath != "" || *procChaos != "" || *runDir != "" {
+		return fmt.Errorf("-cells, -proc-chaos and -run-dir require -cluster")
 	}
 	engineKind, err := model.ParseEngineKind(*engine)
 	if err != nil {

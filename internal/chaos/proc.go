@@ -1,0 +1,299 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ProcOp enumerates the process-level fault operations the cluster
+// supervisor can inject against real OS processes. They mirror the
+// in-process bscrash/bsrestart semantics: a kill is an OpBSCrash whose
+// recovery is the supervisor's restart-from-checkpoint path, a stop/cont
+// pair is a freeze that protocol timeouts (and, if it lasts too long, the
+// heartbeat deadline) observe, and a spawn delay exercises the late-join
+// path of the protocol.
+type ProcOp int
+
+// Process fault operations.
+const (
+	// ProcKill SIGKILLs the target process when the cell's protocol time
+	// reaches the trigger sweep. The supervisor's ordinary crash/restart
+	// machinery owns recovery (restart budget, backoff, checkpoint resume).
+	ProcKill ProcOp = iota + 1
+	// ProcStop SIGSTOPs the target at the trigger sweep and schedules the
+	// matching SIGCONT Delay later (wall-clock: a frozen process has no
+	// protocol time to key the resume on).
+	ProcStop
+	// ProcCont resumes a stopped target. Generated internally from
+	// ProcStop's Delay; specs never name it directly.
+	ProcCont
+	// ProcSpawnDelay delays every (re)spawn of the target by Delay. It is
+	// a launch attribute, not a protocol-time event: the initial spawn and
+	// every supervised restart of the target wait Delay first.
+	ProcSpawnDelay
+)
+
+// String names the operation.
+func (o ProcOp) String() string {
+	switch o {
+	case ProcKill:
+		return "kill"
+	case ProcStop:
+		return "stop"
+	case ProcCont:
+		return "cont"
+	case ProcSpawnDelay:
+		return "spawn-delay"
+	default:
+		return fmt.Sprintf("ProcOp(%d)", int(o))
+	}
+}
+
+// ProcEvent is one scheduled process fault. Protocol time is per cell: the
+// supervisor fires the event when the cell's BS first reports a sweep at
+// or past Sweep (via its heartbeat stream), so the same schedule replays
+// at the same protocol points across runs.
+type ProcEvent struct {
+	// Cell names the target cell (ClusterSpec cell name).
+	Cell string
+	// SBS is the target SBS index within the cell; -1 targets the
+	// cell's BS process.
+	SBS int
+	// Op selects the fault operation.
+	Op ProcOp
+	// Sweep is the protocol-time trigger (ignored for ProcSpawnDelay,
+	// which is a launch attribute).
+	Sweep int
+	// Delay is the stop duration (ProcStop), or the spawn delay
+	// (ProcSpawnDelay).
+	Delay time.Duration
+}
+
+// String renders the event for logs and reports.
+func (e ProcEvent) String() string {
+	target := e.Cell
+	if e.SBS >= 0 {
+		target = fmt.Sprintf("%s.%d", e.Cell, e.SBS)
+	}
+	switch e.Op {
+	case ProcSpawnDelay:
+		return fmt.Sprintf("%s %s by %v", e.Op, target, e.Delay)
+	case ProcStop:
+		return fmt.Sprintf("%s %s @ sweep %d for %v", e.Op, target, e.Sweep, e.Delay)
+	default:
+		return fmt.Sprintf("%s %s @ sweep %d", e.Op, target, e.Sweep)
+	}
+}
+
+// target keys conflict detection and supervisor dispatch.
+func (e ProcEvent) target() string {
+	if e.SBS < 0 {
+		return e.Cell
+	}
+	return fmt.Sprintf("%s.%d", e.Cell, e.SBS)
+}
+
+// ProcSchedule is a deterministic process-fault plan for one cluster run.
+type ProcSchedule struct {
+	Events []ProcEvent
+}
+
+// Validate checks the schedule against the cluster's shape: cells resolves
+// a cell name to its SBS count (negative means unknown).
+func (s ProcSchedule) Validate(cells func(name string) int) error {
+	for i, ev := range s.Events {
+		n := cells(ev.Cell)
+		if n < 0 {
+			return fmt.Errorf("chaos: proc event %d (%s): unknown cell %q", i, ev, ev.Cell)
+		}
+		if ev.SBS < -1 || ev.SBS >= n {
+			return fmt.Errorf("chaos: proc event %d (%s): SBS %d out of range (cell has %d, -1 = BS)", i, ev, ev.SBS, n)
+		}
+		switch ev.Op {
+		case ProcKill:
+			if ev.Sweep < 0 {
+				return fmt.Errorf("chaos: proc event %d (%s): negative trigger sweep", i, ev)
+			}
+		case ProcStop:
+			if ev.Sweep < 0 {
+				return fmt.Errorf("chaos: proc event %d (%s): negative trigger sweep", i, ev)
+			}
+			if ev.Delay <= 0 {
+				return fmt.Errorf("chaos: proc event %d (%s): stop needs a positive resume delay", i, ev)
+			}
+		case ProcSpawnDelay:
+			if ev.Delay <= 0 {
+				return fmt.Errorf("chaos: proc event %d (%s): spawn delay must be positive", i, ev)
+			}
+		case ProcCont:
+			return fmt.Errorf("chaos: proc event %d (%s): cont is generated from stop's delay, never scheduled directly", i, ev)
+		default:
+			return fmt.Errorf("chaos: proc event %d: unknown op %v", i, ev.Op)
+		}
+	}
+	return nil
+}
+
+// ParseProcSpec builds a ProcSchedule from a compact comma-separated spec
+// string, the format accepted by edgesim's -proc-chaos flag:
+//
+//	kill=CELL@W         SIGKILL cell CELL's BS when its sweep reaches W
+//	kill=CELL.S@W       SIGKILL SBS S of cell CELL at cell sweep W
+//	stop=CELL@W+DUR     SIGSTOP the BS at sweep W, SIGCONT after DUR
+//	stop=CELL.S@W+DUR   same for SBS S of CELL
+//	spawndelay=CELL@DUR       delay every (re)spawn of the BS by DUR
+//	spawndelay=CELL.S@DUR     same for SBS S of CELL
+//
+// DUR is a Go duration (e.g. 250ms). Example: "kill=cell-1@2" kills cell-1's
+// coordinator mid-run and lets the supervisor restart it from its newest
+// checkpoint; "stop=cell-0@1+100ms,kill=cell-0.2@3" freezes cell-0's BS for
+// 100ms at sweep 1 and kills its SBS 2 at sweep 3.
+//
+// Like ParseSpec, duplicate or time-unordered events for the same target
+// are rejected with a *SpecConflictError naming both directives.
+func ParseProcSpec(spec string) (ProcSchedule, error) {
+	var s ProcSchedule
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return ProcSchedule{}, fmt.Errorf("chaos: %q: want key=value", item)
+		}
+		var (
+			ev  ProcEvent
+			err error
+		)
+		switch key {
+		case "kill":
+			ev, err = parseProcTarget(val, false)
+			ev.Op = ProcKill
+		case "stop":
+			ev, err = parseProcTarget(val, true)
+			ev.Op = ProcStop
+		case "spawndelay":
+			ev, err = parseSpawnDelay(val)
+		default:
+			return ProcSchedule{}, fmt.Errorf("chaos: unknown proc directive %q", key)
+		}
+		if err != nil {
+			return ProcSchedule{}, fmt.Errorf("chaos: %q: %w", item, err)
+		}
+		s.Events = append(s.Events, ev)
+	}
+	if err := checkProcConflicts(s.Events); err != nil {
+		return ProcSchedule{}, err
+	}
+	return s, nil
+}
+
+// parseProcTarget parses "CELL@W" / "CELL.S@W" (withDur adds "+DUR").
+func parseProcTarget(val string, withDur bool) (ProcEvent, error) {
+	target, at, ok := strings.Cut(val, "@")
+	if !ok {
+		want := "CELL[.S]@SWEEP"
+		if withDur {
+			want += "+DUR"
+		}
+		return ProcEvent{}, fmt.Errorf("want %s, got %q", want, val)
+	}
+	ev, err := splitProcTarget(target)
+	if err != nil {
+		return ProcEvent{}, err
+	}
+	when := at
+	if withDur {
+		sweepStr, durStr, hasDur := strings.Cut(at, "+")
+		if !hasDur {
+			return ProcEvent{}, fmt.Errorf("stop needs a resume delay: want SWEEP+DUR, got %q", at)
+		}
+		when = sweepStr
+		if ev.Delay, err = time.ParseDuration(durStr); err != nil {
+			return ProcEvent{}, err
+		}
+		if ev.Delay <= 0 {
+			return ProcEvent{}, fmt.Errorf("duration must be positive, got %v", ev.Delay)
+		}
+	}
+	if ev.Sweep, err = strconv.Atoi(when); err != nil {
+		return ProcEvent{}, err
+	}
+	if ev.Sweep < 0 {
+		return ProcEvent{}, fmt.Errorf("negative trigger sweep %d", ev.Sweep)
+	}
+	return ev, nil
+}
+
+// parseSpawnDelay parses "CELL@DUR" / "CELL.S@DUR".
+func parseSpawnDelay(val string) (ProcEvent, error) {
+	target, durStr, ok := strings.Cut(val, "@")
+	if !ok {
+		return ProcEvent{}, fmt.Errorf("want CELL[.S]@DUR, got %q", val)
+	}
+	ev, err := splitProcTarget(target)
+	if err != nil {
+		return ProcEvent{}, err
+	}
+	ev.Op = ProcSpawnDelay
+	if ev.Delay, err = time.ParseDuration(durStr); err != nil {
+		return ProcEvent{}, err
+	}
+	if ev.Delay <= 0 {
+		return ProcEvent{}, fmt.Errorf("duration must be positive, got %v", ev.Delay)
+	}
+	return ev, nil
+}
+
+// splitProcTarget parses "CELL" or "CELL.S" into cell name and SBS index
+// (-1 for the BS).
+func splitProcTarget(target string) (ProcEvent, error) {
+	ev := ProcEvent{SBS: -1}
+	cell, idx, hasIdx := strings.Cut(target, ".")
+	if cell == "" {
+		return ProcEvent{}, fmt.Errorf("empty cell name in target %q", target)
+	}
+	ev.Cell = cell
+	if hasIdx {
+		n, err := strconv.Atoi(idx)
+		if err != nil {
+			return ProcEvent{}, fmt.Errorf("SBS index in target %q: %w", target, err)
+		}
+		if n < 0 {
+			return ProcEvent{}, fmt.Errorf("negative SBS index in target %q", target)
+		}
+		ev.SBS = n
+	}
+	return ev, nil
+}
+
+// checkProcConflicts enforces the same per-target discipline as ParseSpec:
+// protocol-time events for one target must be written in strictly
+// increasing sweep order, and at most one spawn delay may name a target.
+func checkProcConflicts(events []ProcEvent) error {
+	lastTimed := map[string]ProcEvent{}
+	spawn := map[string]ProcEvent{}
+	for _, ev := range events {
+		key := ev.target()
+		if ev.Op == ProcSpawnDelay {
+			if prev, ok := spawn[key]; ok {
+				return &SpecConflictError{Prev: prev, Next: ev, Duplicate: true}
+			}
+			spawn[key] = ev
+			continue
+		}
+		if prev, ok := lastTimed[key]; ok {
+			if ev.Sweep == prev.Sweep {
+				return &SpecConflictError{Prev: prev, Next: ev, Duplicate: true}
+			}
+			if ev.Sweep < prev.Sweep {
+				return &SpecConflictError{Prev: prev, Next: ev}
+			}
+		}
+		lastTimed[key] = ev
+	}
+	return nil
+}

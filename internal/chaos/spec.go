@@ -28,6 +28,15 @@ import (
 // Example: "seed=7,drop=0.3,crash=1@2+3" drops 30% of all traffic and
 // crashes SBS 1 for sweeps 2..4. "bscrash=2+1,drop=0.3" kills the BS at
 // sweep 2 and resumes it from its newest checkpoint.
+//
+// Events for one target (one SBS, or the BS) must be written in strictly
+// increasing protocol-time order, counting the events a directive
+// auto-generates (crash=1@2+3 occupies sweeps 2 and 5 for SBS 1). A
+// duplicate trigger point or a later directive that jumps back in time
+// for the same target is rejected with a *SpecConflictError naming both
+// events — the runner fires same-point events in written order, so such a
+// spec silently shadows (crashing an already-crashed SBS is a no-op)
+// instead of doing what was written.
 func ParseSpec(spec string) (Schedule, error) {
 	s := Schedule{Seed: 1}
 	for _, item := range strings.Split(spec, ",") {
@@ -92,7 +101,48 @@ func ParseSpec(spec string) (Schedule, error) {
 			return Schedule{}, fmt.Errorf("chaos: %q: %w", item, err)
 		}
 	}
+	if err := checkSpecConflicts(s.Events); err != nil {
+		return Schedule{}, err
+	}
 	return s, nil
+}
+
+// SpecConflictError reports two spec events for the same target whose
+// written order is not strictly increasing in protocol time. Prev is the
+// earlier directive's event, Next the offending one (chaos.Event for
+// ParseSpec, chaos.ProcEvent for ParseProcSpec); Duplicate distinguishes
+// an identical trigger point from a jump backwards.
+type SpecConflictError struct {
+	Prev, Next fmt.Stringer
+	Duplicate  bool
+}
+
+// Error renders both conflicting events.
+func (e *SpecConflictError) Error() string {
+	if e.Duplicate {
+		return fmt.Sprintf("chaos: duplicate trigger for one target: %q repeats the trigger point of earlier %q", e.Next, e.Prev)
+	}
+	return fmt.Sprintf("chaos: time-unordered events for one target: %q fires before earlier %q", e.Next, e.Prev)
+}
+
+// checkSpecConflicts enforces the per-target ordering ParseSpec documents.
+// Programmatic schedules are exempt (Schedule.Validate does not call this):
+// there the caller controls firing order explicitly and overlapping plans
+// can be intentional.
+func checkSpecConflicts(events []Event) error {
+	last := map[int]Event{}
+	for _, ev := range events {
+		if prev, ok := last[ev.SBS]; ok {
+			if ev.Sweep == prev.Sweep && ev.Phase == prev.Phase {
+				return &SpecConflictError{Prev: prev, Next: ev, Duplicate: true}
+			}
+			if ev.Sweep < prev.Sweep || (ev.Sweep == prev.Sweep && ev.Phase < prev.Phase) {
+				return &SpecConflictError{Prev: prev, Next: ev}
+			}
+		}
+		last[ev.SBS] = ev
+	}
+	return nil
 }
 
 // parseProb parses a probability in [0, 1].

@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestParseSpecConflicts exercises the per-target ordering discipline:
+// duplicate trigger points and time-unordered directives for one target
+// are rejected with a *SpecConflictError, while interleaved events on
+// different targets remain legal in any written order.
+func TestParseSpecConflicts(t *testing.T) {
+	cases := []struct {
+		name      string
+		spec      string
+		duplicate bool // expected SpecConflictError.Duplicate
+		ok        bool // spec is valid, no conflict expected
+	}{
+		{name: "duplicate crash", spec: "crash=1@2,crash=1@2", duplicate: true},
+		{name: "crash shadows generated restart", spec: "crash=1@2+3,crash=1@5", duplicate: true},
+		{name: "backwards for same target", spec: "crash=1@5,crash=1@2"},
+		{name: "partition jumps back over crash", spec: "crash=0@4,partition=0@1"},
+		{name: "duplicate bscrash", spec: "bscrash=2,bscrash=2", duplicate: true},
+		{name: "bsrestart before bscrash", spec: "bscrash=4,bsrestart=1"},
+		{name: "bsrestart repeats generated restart", spec: "bscrash=2+1,bsrestart=3", duplicate: true},
+		{name: "distinct targets interleave freely", spec: "crash=1@5,crash=0@1,bscrash=2", ok: true},
+		{name: "same target strictly increasing", spec: "crash=1@1+1,partition=1@3", ok: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.spec)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("ParseSpec(%q) = %v, want nil", tc.spec, err)
+				}
+				return
+			}
+			var conflict *SpecConflictError
+			if !errors.As(err, &conflict) {
+				t.Fatalf("ParseSpec(%q) = %v, want *SpecConflictError", tc.spec, err)
+			}
+			if conflict.Duplicate != tc.duplicate {
+				t.Errorf("Duplicate = %v, want %v (%v)", conflict.Duplicate, tc.duplicate, conflict)
+			}
+			if conflict.Error() == "" || conflict.Prev == nil || conflict.Next == nil {
+				t.Errorf("conflict does not name both events: %+v", conflict)
+			}
+		})
+	}
+}
+
+// TestParseProcSpec covers the -proc-chaos directive grammar: every
+// operation form round-trips into the expected ProcEvent, and malformed
+// directives are rejected.
+func TestParseProcSpec(t *testing.T) {
+	s, err := ParseProcSpec("kill=cell-1@2, stop=cell-0@1+100ms,kill=cell-0.2@3,spawndelay=cell-2.1@250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ProcEvent{
+		{Cell: "cell-1", SBS: -1, Op: ProcKill, Sweep: 2},
+		{Cell: "cell-0", SBS: -1, Op: ProcStop, Sweep: 1, Delay: 100 * time.Millisecond},
+		{Cell: "cell-0", SBS: 2, Op: ProcKill, Sweep: 3},
+		{Cell: "cell-2", SBS: 1, Op: ProcSpawnDelay, Delay: 250 * time.Millisecond},
+	}
+	if len(s.Events) != len(want) {
+		t.Fatalf("events = %v, want %v", s.Events, want)
+	}
+	for i := range want {
+		if s.Events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, s.Events[i], want[i])
+		}
+	}
+	if s, err := ParseProcSpec(" "); err != nil || len(s.Events) != 0 {
+		t.Errorf("blank spec: %v, %v", s, err)
+	}
+	for _, bad := range []string{
+		"kill", "melt=cell-0@1", "kill=cell-0", "kill=@1", "kill=cell-0@x",
+		"kill=cell-0@-1", "kill=cell-0.x@1", "kill=cell-0.-1@1",
+		"stop=cell-0@1", "stop=cell-0@1+0s", "stop=cell-0@1+zzz",
+		"spawndelay=cell-0", "spawndelay=cell-0@-5ms", "spawndelay=cell-0@soon",
+	} {
+		if _, err := ParseProcSpec(bad); err == nil {
+			t.Errorf("ParseProcSpec(%q) accepted invalid spec", bad)
+		}
+	}
+}
+
+// TestParseProcSpecConflicts mirrors TestParseSpecConflicts for the
+// process-fault grammar: per-target protocol-time order is enforced, and
+// a target may carry at most one spawn delay. The BS and an SBS of the
+// same cell are distinct targets.
+func TestParseProcSpecConflicts(t *testing.T) {
+	cases := []struct {
+		name      string
+		spec      string
+		duplicate bool
+		ok        bool
+	}{
+		{name: "duplicate kill", spec: "kill=cell-0@2,kill=cell-0@2", duplicate: true},
+		{name: "stop repeats kill sweep", spec: "kill=cell-0@2,stop=cell-0@2+50ms", duplicate: true},
+		{name: "kill jumps back", spec: "kill=cell-0@4,kill=cell-0@1"},
+		{name: "second spawn delay for one target", spec: "spawndelay=cell-0@10ms,spawndelay=cell-0@20ms", duplicate: true},
+		{name: "bs and sbs are distinct targets", spec: "kill=cell-0@2,kill=cell-0.0@2", ok: true},
+		{name: "spawn delay is not protocol time", spec: "kill=cell-0@2,spawndelay=cell-0@10ms,kill=cell-0@4", ok: true},
+		{name: "same target increasing", spec: "stop=cell-0.1@1+10ms,kill=cell-0.1@3", ok: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseProcSpec(tc.spec)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("ParseProcSpec(%q) = %v, want nil", tc.spec, err)
+				}
+				return
+			}
+			var conflict *SpecConflictError
+			if !errors.As(err, &conflict) {
+				t.Fatalf("ParseProcSpec(%q) = %v, want *SpecConflictError", tc.spec, err)
+			}
+			if conflict.Duplicate != tc.duplicate {
+				t.Errorf("Duplicate = %v, want %v (%v)", conflict.Duplicate, tc.duplicate, conflict)
+			}
+		})
+	}
+}

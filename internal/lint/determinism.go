@@ -27,6 +27,13 @@ var determinismPkgs = []string{
 	"edgecache/internal/core",
 	"edgecache/internal/sim",
 	"edgecache/internal/chaos",
+	// The cluster supervisor replays chaos schedules keyed to protocol
+	// time, and fault-free cluster runs must be bit-identical to the
+	// in-process reference — the same replayability contract as the
+	// solver. (Timer-based liveness via time.AfterFunc/NewTicker stays
+	// legal; only wall-clock reads, global rand, and map iteration are
+	// not.)
+	"edgecache/internal/cluster",
 	"edgecache/internal/lint/fixtures/determsrc",
 }
 

@@ -329,6 +329,78 @@ func TestCheckpointStoreEmptyAndTempCleanup(t *testing.T) {
 	}
 }
 
+// TestCheckpointStoreTornTempPruneInterleave replays the messiest recovery
+// directory a supervised restart can encounter: intact snapshots, a torn
+// .tmp from a save the crash interrupted, and a torn final file (a rename
+// that landed without its data on a filesystem with no rename atomicity) —
+// then a post-restart save whose prune runs over all of it. Latest must
+// return the newest intact snapshot at every step, the next save's prune
+// must clear the .tmp without touching recoverable files, and retention
+// must still bound the directory.
+func TestCheckpointStoreTornTempPruneInterleave(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewCheckpointStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sweep := 1; sweep <= 2; sweep++ {
+		ck := testCheckpoint()
+		ck.Sweep, ck.Phase = sweep, 0
+		if err := store.Save(ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash mid-save of sweep 3: the temp file exists, torn, never renamed.
+	torn3 := filepath.Join(dir, fileName(3, 0)+".tmp")
+	if err := os.WriteFile(torn3, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Crash around the rename of sweep 4: the final name exists but holds
+	// garbage.
+	torn4 := filepath.Join(dir, fileName(4, 0))
+	if err := os.WriteFile(torn4, []byte("torn rename"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery before any new save: the .tmp is invisible to Latest, the
+	// torn final file is skipped, the newest intact snapshot (sweep 2) wins.
+	got, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sweep != 2 {
+		t.Errorf("Latest() over torn files = sweep %d, want 2", got.Sweep)
+	}
+
+	// The restarted run saves sweep 5; the piggy-backed prune must remove
+	// the stale .tmp and enforce retention over the .ckpt files.
+	ck := testCheckpoint()
+	ck.Sweep, ck.Phase = 5, 0
+	if err := store.Save(ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn3); !os.IsNotExist(err) {
+		t.Error("stale .tmp survived the post-restart save's prune")
+	}
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Errorf("retention kept %d files, want 3: %v", len(names), names)
+	}
+	// The torn sweep-4 file counts against retention (prune cannot decode
+	// every candidate on every save), but recovery still lands on the
+	// newest intact snapshot.
+	got, err = store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sweep != 5 {
+		t.Errorf("Latest() after post-restart save = sweep %d, want 5", got.Sweep)
+	}
+}
+
 func TestMemCheckpointStore(t *testing.T) {
 	store := NewMemCheckpointStore(2)
 	for sweep := 1; sweep <= 3; sweep++ {

@@ -52,4 +52,11 @@ go test -race ./internal/model/... ./cmd/...
 echo "verify: go test -race -short ./internal/chaos/..."
 go test -race -short ./internal/chaos/...
 
+# Cluster supervision gate: real OS processes over TCP under -race — the
+# fault-free 10x10 bit-identity run, SIGKILL/SIGSTOP recovery from
+# checkpoint, SBS escalation and graceful degradation. These spawn dozens
+# of processes; they run last so cheaper failures surface first.
+echo "verify: cluster supervision gate (-race)"
+go test -race -timeout 600s ./internal/cluster/...
+
 echo "verify: OK"
