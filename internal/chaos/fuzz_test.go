@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzSpec hardens the -chaos flag parser: arbitrary spec strings must
+// parse or error, never panic, and every accepted schedule must satisfy
+// the per-target ordering discipline checkSpecConflicts enforces. The
+// seed corpus deliberately includes the SpecConflictError shapes
+// (duplicate trigger points, auto-generated restart collisions, and
+// backwards jumps) so the replay in `go test` exercises the rejection
+// paths, not just the happy parses.
+func FuzzSpec(f *testing.F) {
+	seeds := []string{
+		// Valid specs across every directive.
+		"seed=7,drop=0.3,crash=1@2+3",
+		"bscrash=2+1,drop=0.3",
+		"partition=0@1+2,delay=5ms,dup=0.1,reorder=0.05",
+		"crash=1@2,crash=1@4,crash=2@2",
+		"bsrestart=3",
+		"",
+		// Duplicate trigger points for one target.
+		"crash=1@2,crash=1@2",
+		"bscrash=2+1,bscrash=3",
+		"partition=0@1+2,partition=0@1",
+		// crash=1@2+3 auto-generates a restart at sweep 5, which the next
+		// directive then collides with.
+		"crash=1@2+3,crash=1@5",
+		// Backwards jumps in protocol time.
+		"crash=1@5,crash=1@2",
+		"partition=2@4,crash=2@1",
+		// Malformed inputs.
+		"crash=1@2@3",
+		"drop=1.5",
+		"delay=banana",
+		"crash",
+		"=3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			var conflict *SpecConflictError
+			if errors.As(err, &conflict) {
+				if conflict.Prev == nil || conflict.Next == nil {
+					t.Fatalf("conflict error without both events: %v", err)
+				}
+				if conflict.Error() == "" {
+					t.Fatal("conflict error renders empty")
+				}
+			}
+			return
+		}
+		// Every accepted schedule re-validates: the parser may not let a
+		// shadowing spec through.
+		if err := checkSpecConflicts(s.Events); err != nil {
+			t.Fatalf("accepted schedule fails its own conflict check: %v", err)
+		}
+		for _, ev := range s.Events {
+			if ev.String() == "" {
+				t.Fatalf("event renders empty: %+v", ev)
+			}
+		}
+	})
+}
+
+// FuzzProcSpec is the same hardening for the -proc-chaos parser: no
+// panics, and accepted process schedules pass checkProcConflicts. Seeds
+// cover duplicate kill/stop triggers and repeated spawn delays on one
+// target, which are the *SpecConflictError paths.
+func FuzzProcSpec(f *testing.F) {
+	seeds := []string{
+		// Valid specs.
+		"kill=cell-1@2",
+		"stop=cell-0@1+100ms,kill=cell-0.2@3",
+		"spawndelay=cell-0@50ms,kill=cell-0@2",
+		"kill=cell-0@1,kill=cell-1@1",
+		"",
+		// Duplicate trigger points for one target.
+		"kill=cell-0@1,kill=cell-0@1",
+		"stop=cell-0@1+100ms,kill=cell-0@1",
+		"spawndelay=cell-0@50ms,spawndelay=cell-0@10ms",
+		// Backwards jump in cell sweep time.
+		"kill=cell-0@5,stop=cell-0@2+10ms",
+		// Malformed inputs.
+		"kill=cell-0",
+		"stop=cell-0@1",
+		"spawndelay=cell-0@-5ms",
+		"kill=.0@1",
+		"poke=cell-0@1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseProcSpec(spec)
+		if err != nil {
+			var conflict *SpecConflictError
+			if errors.As(err, &conflict) {
+				if conflict.Prev == nil || conflict.Next == nil {
+					t.Fatalf("conflict error without both events: %v", err)
+				}
+				if conflict.Error() == "" {
+					t.Fatal("conflict error renders empty")
+				}
+			}
+			return
+		}
+		if err := checkProcConflicts(s.Events); err != nil {
+			t.Fatalf("accepted schedule fails its own conflict check: %v", err)
+		}
+		for _, ev := range s.Events {
+			if ev.String() == "" {
+				t.Fatalf("event renders empty: %+v", ev)
+			}
+		}
+	})
+}

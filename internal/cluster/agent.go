@@ -237,6 +237,10 @@ func servePeers(tcp *transport.TCPEndpoint, in io.Reader) error {
 	for _, p := range pl.Peers {
 		tcp.AddPeer(p.Name, p.Addr)
 	}
+	// The reader lives for the whole agent process: a Read blocked on stdin
+	// has no portable interrupt, so the only join is process exit (the
+	// supervisor closing the pipe unblocks ReadBytes with an error).
+	//edgecache:lint-ignore goleak stdin reader runs for the agent's lifetime; blocked Read has no portable interrupt and process exit reaps it
 	go func() {
 		for {
 			line, err := br.ReadBytes('\n')

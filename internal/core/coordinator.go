@@ -440,6 +440,9 @@ func (c *Coordinator) snapshot(sink model.CheckpointSink, kind EngineKind, st *S
 		ck.HasNoise = true
 		ck.NoiseSeed, ck.NoiseDraws = c.cfg.Privacy.Noise.Pos()
 	}
+	// Checkpoints are local trusted state: raw μ never leaves the process
+	// and bit-identical resume requires the un-noised values (§V-C).
+	//edgecache:lint-ignore privflow checkpoint is local trusted state; raw multipliers are required for bit-identical resume and never cross the transport
 	if err := sink.Save(ck); err != nil {
 		return fmt.Errorf("core: checkpoint at sweep %d phase %d: %w", sweep, phase, err)
 	}

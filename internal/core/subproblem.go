@@ -204,7 +204,12 @@ func NewSubproblem(inst *model.Instance, n int, cfg SubproblemConfig) (*Subprobl
 // Result is the outcome of one P_n solve.
 type Result struct {
 	// Cache is x_n (length F) and Routing y_n (U×F).
-	Cache   []bool
+	Cache []bool
+	// Routing is the raw pre-LPPM best response: per-MU routing shares
+	// reveal which users requested what (§IV), so privflow requires every
+	// egress of this field to pass an LPPM sanitizer first.
+	//
+	//edgecache:private pre-LPPM per-MU routing shares
 	Routing model.Mat
 	// Gain is the serving-cost reduction Σ (d̂−d)·λ·y achieved versus
 	// routing nothing; the coordinator uses it for reporting only.
@@ -296,6 +301,12 @@ func (s *Subproblem) Solve(yMinus model.Mat) (*Result, error) {
 // item order. Checkpoints capture this for workspace completeness and as a
 // warm-start hook; Solve itself cold-starts μ, so restoration does not
 // alter the trajectory.
+//
+// The multipliers are derived from raw per-item demand pressure, so they
+// are a privacy source: privflow flags any egress that has not passed an
+// LPPM sanitizer.
+//
+//edgecache:private raw dual multipliers derived from per-MU demand
 func (s *Subproblem) Multipliers() []float64 {
 	return append([]float64(nil), s.ws.mu...)
 }

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicmix forbids mixing memory models on one location: a variable or
+// struct field whose address is passed to a sync/atomic package-level
+// function anywhere in the module may never be read or written plainly
+// anywhere else. A plain load next to atomic stores is a data race the
+// race detector only catches when the schedule cooperates; the analyzer
+// catches it always.
+//
+// The check is two-phase over the whole module: phase one records the
+// types.Object behind every `&x` handed to sync/atomic (atomic.AddInt64,
+// atomic.LoadUint64, atomic.CompareAndSwapPointer, ...); phase two flags
+// every other appearance of those objects. Composite-literal keys are
+// exempt (`s := state{seq: 0}` is initialization before the goroutines
+// exist), as is the field's declaration itself. The typed atomics
+// (atomic.Int64 & friends) enforce this at the type level and are the
+// preferred fix.
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a location accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) {
+	for _, d := range pass.Prog.atomicResults()[pass.Pkg.Path] {
+		*pass.diags = append(*pass.diags, d)
+	}
+}
+
+// atomicResults runs the whole-module two-phase scan once.
+func (prog *Program) atomicResults() map[string][]Diagnostic {
+	prog.atomicOnce.Do(func() {
+		prog.atomicDiag = map[string][]Diagnostic{}
+
+		// Phase 1: objects used atomically, and the positions of the
+		// identifiers inside sanctioned &x atomic operands.
+		atomicObjs := map[types.Object]bool{}
+		sanctioned := map[token.Pos]bool{}
+		for _, pkg := range prog.Packages {
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(pkg, call)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+						return true
+					}
+					if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+						return true // typed-atomic methods carry their own discipline
+					}
+					for _, arg := range call.Args {
+						un, ok := arg.(*ast.UnaryExpr)
+						if !ok || un.Op != token.AND {
+							continue
+						}
+						obj, pos := operandObject(pkg, un.X)
+						if obj == nil {
+							continue
+						}
+						atomicObjs[obj] = true
+						sanctioned[pos] = true
+					}
+					return true
+				})
+			}
+		}
+		if len(atomicObjs) == 0 {
+			return
+		}
+
+		// Phase 2: any other appearance of those objects is a plain
+		// access.
+		for _, pkg := range prog.Packages {
+			for _, file := range pkg.Files {
+				exemptKeys := compositeLitKeyPositions(file)
+				ast.Inspect(file, func(n ast.Node) bool {
+					ident, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := pkg.Info.Uses[ident]
+					if obj == nil || !atomicObjs[obj] {
+						return true
+					}
+					if sanctioned[ident.Pos()] || exemptKeys[ident.Pos()] {
+						return true
+					}
+					prog.atomicDiag[pkg.Path] = append(prog.atomicDiag[pkg.Path], Diagnostic{
+						Analyzer: "atomicmix",
+						Pos:      prog.Fset.Position(ident.Pos()),
+						Message:  obj.Name() + " is accessed with sync/atomic elsewhere; plain reads/writes race with the atomic ops (use the typed atomics, or go through sync/atomic everywhere)",
+					})
+					return true
+				})
+			}
+		}
+	})
+	return prog.atomicDiag
+}
+
+// operandObject resolves the object behind an atomic operand expression
+// (`x` or `s.f`, possibly parenthesized) and the identifier position that
+// names it.
+func operandObject(pkg *Package, e ast.Expr) (types.Object, token.Pos) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pkg.Info.Uses[x], x.Pos()
+		case *ast.SelectorExpr:
+			return pkg.Info.Uses[x.Sel], x.Sel.Pos()
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil, token.NoPos
+		}
+	}
+}
+
+// compositeLitKeyPositions collects the field-key identifier positions in
+// composite literals: `state{seq: 0}` initializes before concurrency and
+// is not a plain access.
+func compositeLitKeyPositions(file *ast.File) map[token.Pos]bool {
+	keys := map[token.Pos]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if ident, ok := kv.Key.(*ast.Ident); ok {
+					keys[ident.Pos()] = true
+				}
+			}
+		}
+		return true
+	})
+	return keys
+}

@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// The result cache keeps the verify.sh/CI gate fast despite the
+// interprocedural analyzers: a run over unchanged sources never
+// type-checks anything. The unit of caching is one package's surviving
+// (post-ignore) diagnostics under one analyzer suite.
+//
+// Keys are pure content hashes — no mtimes — so the cache is safe to share
+// across checkouts and CI restores:
+//
+//   - every key includes the schema version, the Go toolchain version,
+//     the suite's analyzer names, and the content hash of internal/lint
+//     itself (edit an analyzer, invalidate everything);
+//   - a local (per-package) suite keys each package on its own source
+//     hash plus the hashes of its module dependencies (a dep's types can
+//     change a caller's diagnostics);
+//   - a suite containing a whole-program analyzer (noalloc, privflow,
+//     atomicmix) additionally keys every package on the module-wide
+//     source hash, since any file can add a source, a directive root, or
+//     an atomic access.
+//
+// The pre-check runs `go list` WITHOUT -export: on a full hit the
+// packages never compile or type-check, which is where the time goes.
+// Stored diagnostics drop their Fixes (token.Pos values are meaningless
+// across loads); -fix runs bypass the cache for that reason.
+
+// cacheSchemaVersion invalidates every entry when the storage format or
+// key derivation changes.
+const cacheSchemaVersion = "edgelint-cache-v1"
+
+// globalAnalyzers are the whole-program passes whose results can change
+// when any module file changes.
+var globalAnalyzers = map[string]bool{
+	"noalloc":   true,
+	"privflow":  true,
+	"atomicmix": true,
+}
+
+// RunStats reports what a cached run did.
+type RunStats struct {
+	// Packages is the number of analyzed (non-skipped) module packages;
+	// CacheHits of them were served from the cache. Loaded reports
+	// whether a full type-checking load was needed.
+	Packages  int
+	CacheHits int
+	Loaded    bool
+}
+
+// cachedDiag is the stored form of one diagnostic.
+type cachedDiag struct {
+	Analyzer string
+	File     string
+	Offset   int
+	Line     int
+	Column   int
+	Message  string
+}
+
+type cacheEntry struct {
+	Version string
+	Diags   []cachedDiag
+}
+
+// pkgMeta is the cheap (no -export) listing of one module package.
+type pkgMeta struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Deps       []string
+
+	hash string
+}
+
+// RunCached runs the analyzers over the module at dir with per-package
+// result caching under cacheDir. An empty cacheDir disables caching.
+// Cache read/write failures degrade to a normal run, never to an error.
+func RunCached(dir string, analyzers []*Analyzer, skip func(pkgPath string) bool,
+	cacheDir string, patterns ...string) ([]Diagnostic, RunStats, error) {
+	var stats RunStats
+	if cacheDir == "" {
+		prog, err := Load(dir, patterns...)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Loaded = true
+		diags := prog.Run(analyzers, skip)
+		stats.Packages = countAnalyzed(prog, skip)
+		return diags, stats, nil
+	}
+
+	metas, err := listMetas(dir, patterns...)
+	if err != nil {
+		return nil, stats, err
+	}
+	keys := cacheKeys(metas, analyzers, skip)
+	stats.Packages = len(keys)
+
+	// Read phase: a full hit returns without loading anything.
+	cached := map[string][]Diagnostic{}
+	for path, key := range keys {
+		entry, ok := readCacheEntry(cacheDir, key)
+		if !ok {
+			continue
+		}
+		cached[path] = entry
+		stats.CacheHits++
+	}
+	if stats.CacheHits == len(keys) {
+		var diags []Diagnostic
+		for _, pkgDiags := range cached {
+			diags = append(diags, pkgDiags...)
+		}
+		sortDiagnostics(diags)
+		return diags, stats, nil
+	}
+
+	// Miss: load and analyze everything, then refresh the cache. (The
+	// load cost dominates, so partially-hit runs recompute hit packages
+	// too rather than complicating the driver; their entries rewrite to
+	// identical bytes.)
+	prog, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Loaded = true
+	perPkg := prog.RunPerPackage(analyzers, skip)
+	var diags []Diagnostic
+	for path, pkgDiags := range perPkg {
+		diags = append(diags, pkgDiags...)
+		if key, ok := keys[path]; ok {
+			writeCacheEntry(cacheDir, key, pkgDiags)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, stats, nil
+}
+
+func countAnalyzed(prog *Program, skip func(string) bool) int {
+	n := 0
+	for _, pkg := range prog.Packages {
+		if skip == nil || !skip(pkg.Path) {
+			n++
+		}
+	}
+	return n
+}
+
+// listMetas lists the module packages without -export: no compilation, so
+// a warm-cache gate run costs one `go list` plus file reads.
+func listMetas(dir string, patterns ...string) ([]*pkgMeta, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Standard,GoFiles,Deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var metas []*pkgMeta
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m pkgMeta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if m.Standard || len(m.GoFiles) == 0 {
+			continue
+		}
+		if err := m.computeHash(); err != nil {
+			return nil, err
+		}
+		metas = append(metas, &m)
+	}
+	return metas, nil
+}
+
+// computeHash digests the package's source file names and contents.
+func (m *pkgMeta) computeHash() error {
+	h := sha256.New()
+	for _, name := range m.GoFiles {
+		data, err := os.ReadFile(filepath.Join(m.Dir, name))
+		if err != nil {
+			return fmt.Errorf("lint: %v", err)
+		}
+		fmt.Fprintf(h, "%s %d\n", name, len(data))
+		h.Write(data)
+	}
+	m.hash = hex.EncodeToString(h.Sum(nil))
+	return nil
+}
+
+// cacheKeys derives the cache key per analyzed package path.
+func cacheKeys(metas []*pkgMeta, analyzers []*Analyzer, skip func(string) bool) map[string]string {
+	byPath := map[string]*pkgMeta{}
+	for _, m := range metas {
+		byPath[m.ImportPath] = m
+	}
+
+	var names []string
+	global := false
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+		if globalAnalyzers[a.Name] {
+			global = true
+		}
+	}
+	sort.Strings(names)
+
+	// The module-wide hash covers the analyzed packages; the lint
+	// package's own hash rides along in every key so editing an analyzer
+	// invalidates results even for local suites.
+	var analyzed []*pkgMeta
+	lintHash := ""
+	moduleHash := sha256.New()
+	for _, m := range metas {
+		if m.ImportPath == "edgecache/internal/lint" {
+			lintHash = m.hash
+		}
+		if skip != nil && skip(m.ImportPath) {
+			continue
+		}
+		analyzed = append(analyzed, m)
+		fmt.Fprintf(moduleHash, "%s %s\n", m.ImportPath, m.hash)
+	}
+	modHash := hex.EncodeToString(moduleHash.Sum(nil))
+
+	prefix := fmt.Sprintf("%s|%s|%s|%s|", cacheSchemaVersion, runtime.Version(),
+		strings.Join(names, ","), lintHash)
+
+	keys := map[string]string{}
+	for _, m := range analyzed {
+		h := sha256.New()
+		io.WriteString(h, prefix)
+		fmt.Fprintf(h, "%s %s\n", m.ImportPath, m.hash)
+		if global {
+			fmt.Fprintf(h, "module %s\n", modHash)
+		} else {
+			// Module deps in listing order (go list emits a stable
+			// dependency order); stdlib deps are covered by the toolchain
+			// version in the prefix.
+			for _, dep := range m.Deps {
+				if dm, ok := byPath[dep]; ok {
+					fmt.Fprintf(h, "dep %s %s\n", dep, dm.hash)
+				}
+			}
+		}
+		keys[m.ImportPath] = hex.EncodeToString(h.Sum(nil))
+	}
+	return keys
+}
+
+func cachePath(cacheDir, key string) string {
+	return filepath.Join(cacheDir, key[:2], key+".json")
+}
+
+func readCacheEntry(cacheDir, key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(cachePath(cacheDir, key))
+	if err != nil {
+		return nil, false
+	}
+	var entry cacheEntry
+	if json.Unmarshal(data, &entry) != nil || entry.Version != cacheSchemaVersion {
+		return nil, false
+	}
+	diags := make([]Diagnostic, 0, len(entry.Diags))
+	for _, d := range entry.Diags {
+		diags = append(diags, Diagnostic{
+			Analyzer: d.Analyzer,
+			Pos: token.Position{
+				Filename: d.File, Offset: d.Offset, Line: d.Line, Column: d.Column,
+			},
+			Message: d.Message,
+		})
+	}
+	return diags, true
+}
+
+// writeCacheEntry stores one package's surviving diagnostics. Fixes are
+// dropped (their token.Pos values die with the FileSet); -fix runs bypass
+// cache reads so they always see live fixes. Failures are ignored — the
+// cache is an accelerator, not a correctness layer.
+func writeCacheEntry(cacheDir, key string, diags []Diagnostic) {
+	entry := cacheEntry{Version: cacheSchemaVersion}
+	for _, d := range diags {
+		entry.Diags = append(entry.Diags, cachedDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Offset:   d.Pos.Offset,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	data, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	path := cachePath(cacheDir, key)
+	if os.MkdirAll(filepath.Dir(path), 0o755) != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if os.WriteFile(tmp, data, 0o644) != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}

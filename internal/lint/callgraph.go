@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The interprocedural analyzers (privflow, goleak, noalloc) all need the
+// same two ingredients: a module-wide index from *types.Func to the
+// declaration that defines it, and a way to resolve an interface by
+// import path so sinks can be matched against every implementation. This
+// file holds those shared pieces.
+
+// modFunc is one module function body the interprocedural walks can reach.
+type modFunc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// moduleFuncs indexes every function and method declaration in the module
+// by its *types.Func. The index is computed once per Program and is safe
+// for concurrent readers afterwards.
+func (prog *Program) moduleFuncs() map[*types.Func]modFunc {
+	prog.funcsOnce.Do(func() {
+		prog.funcs = map[*types.Func]modFunc{}
+		for _, pkg := range prog.Packages {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						prog.funcs[obj] = modFunc{pkg: pkg, decl: fd}
+					}
+				}
+			}
+		}
+	})
+	return prog.funcs
+}
+
+// namedInterface resolves an exported interface type by package path and
+// name, or nil when the loaded module slice does not contain it (temp
+// modules in the gate tests may omit whole layers).
+func namedInterface(prog *Program, pkgPath, name string) *types.Interface {
+	pkg := prog.ByPath[pkgPath]
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// implementsOrIs reports whether t implements iface, or is (a pointer to)
+// the interface type itself — calls through the bare interface value count
+// the same as calls on a concrete implementation.
+func implementsOrIs(t types.Type, iface *types.Interface) bool {
+	if iface == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if u, ok := t.Underlying().(*types.Interface); ok {
+		return types.Identical(u, iface)
+	}
+	return false
+}
+
+// baseObject resolves the object a (possibly nested) lvalue or channel
+// expression is rooted at: the variable for `x`, `x[i]`, `*x`, `x.f[i]`,
+// and the field object for `s.f` / `s.f[i]`. It returns nil for
+// expressions not rooted in a named object (calls, literals).
+func baseObject(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[x]
+		case *ast.SelectorExpr:
+			// Prefer the field/method object: `s.quit` is identified by
+			// the quit field no matter which receiver value it came from,
+			// which is what cross-function matching (close in one method,
+			// receive in another) needs.
+			if obj := pkg.Info.Uses[x.Sel]; obj != nil {
+				return obj
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

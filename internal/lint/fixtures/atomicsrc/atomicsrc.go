@@ -1,0 +1,53 @@
+// Package atomicsrc deliberately mixes sync/atomic and plain access on
+// one location, plus the sanctioned shapes the atomicmix analyzer
+// approves. The edgelint driver skips everything under
+// internal/lint/fixtures.
+package atomicsrc
+
+import "sync/atomic"
+
+// Counter guards hits with package-level atomics but leaks plain accesses
+// in Snapshot and Reset.
+type Counter struct {
+	hits int64
+	name string
+}
+
+// Incr is the sanctioned atomic path; the &c.hits operand itself is not a
+// plain access.
+func (c *Counter) Incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// GoodLoad stays inside sync/atomic.
+func (c *Counter) GoodLoad() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Snapshot reads hits plainly — the race the analyzer exists for.
+func (c *Counter) Snapshot() int64 {
+	return c.hits // want `hits is accessed with sync/atomic elsewhere`
+}
+
+// Reset writes plainly, racing every concurrent atomic add.
+func (c *Counter) Reset() {
+	c.hits = 0 // want `hits is accessed with sync/atomic elsewhere`
+}
+
+// NewCounter initializes through a composite-literal key, which happens
+// before any concurrency and is exempt.
+func NewCounter(name string) *Counter {
+	return &Counter{hits: 0, name: name}
+}
+
+// TypedCounter uses the typed atomics, which enforce the discipline at
+// the type level and are outside the analyzer's net.
+type TypedCounter struct {
+	hits atomic.Int64
+}
+
+// Incr and Get may coexist freely: atomic.Int64 has no plain access path.
+func (t *TypedCounter) Incr() { t.hits.Add(1) }
+
+// Get reads through the typed atomic.
+func (t *TypedCounter) Get() int64 { return t.hits.Load() }

@@ -1,0 +1,112 @@
+// Package goleaksrc holds deliberate goroutine/timer-hygiene violations
+// and the joined shapes the goleak analyzer approves. The package path is
+// explicitly in the analyzer's scope list; the edgelint driver skips
+// everything under internal/lint/fixtures.
+package goleaksrc
+
+import (
+	"sync"
+	"time"
+)
+
+// Pool mimics the parallel engine's worker pool: a quit channel closed by
+// Close is the join signal, and a done channel acknowledges exit.
+type Pool struct {
+	quit chan struct{}
+	done chan struct{}
+}
+
+// Start launches the worker; the quit-channel receive inside worker is the
+// reachable join (close(p.quit) in Close is the package-wide evidence).
+func (p *Pool) Start() {
+	go p.worker()
+}
+
+func (p *Pool) worker() {
+	<-p.quit
+	p.done <- struct{}{}
+}
+
+// StartNested proves join evidence is found through a same-package callee
+// one level below the goroutine body.
+func (p *Pool) StartNested() {
+	go p.runLoop()
+}
+
+func (p *Pool) runLoop() {
+	p.waitQuit()
+}
+
+func (p *Pool) waitQuit() {
+	<-p.quit
+}
+
+// Close triggers the join and waits for the acknowledgement.
+func (p *Pool) Close() {
+	close(p.quit)
+	<-p.done
+}
+
+// BadFireAndForget launches a goroutine nothing can observe or stop.
+func BadFireAndForget(work func()) {
+	go func() { // want `goroutine has no reachable join`
+		for {
+			work()
+		}
+	}()
+}
+
+// BadDynamic spawns through a function value, so no body can be checked.
+func BadDynamic(fn func()) {
+	go fn() // want `goroutine body cannot be resolved statically`
+}
+
+// GoodWaitGroup joins through Done with a package-visible Wait.
+func GoodWaitGroup(n int, work func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// GoodTicker stops its ticker on every exit path.
+func GoodTicker(interval time.Duration, quit chan struct{}, tick func()) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			tick()
+		case <-quit:
+			return
+		}
+	}
+}
+
+// BadTicker captures a ticker no code ever stops.
+func BadTicker(interval time.Duration) *time.Ticker {
+	tk := time.NewTicker(interval) // want `has no Stop path`
+	return tk
+}
+
+// BadDiscardedTicker drops the handle outright, so it can never stop.
+func BadDiscardedTicker(interval time.Duration) {
+	time.NewTicker(interval) // want `result is discarded`
+}
+
+// GoodAfterFunc discards the one-shot timer: it completes itself, so a
+// discarded AfterFunc is exempt.
+func GoodAfterFunc(d time.Duration, f func()) {
+	time.AfterFunc(d, f)
+}
+
+// BadAfterFunc captures the timer but never arms a Stop path.
+func BadAfterFunc(d time.Duration, f func()) *time.Timer {
+	tm := time.AfterFunc(d, f) // want `has no Stop path`
+	return tm
+}

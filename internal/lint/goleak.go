@@ -1,0 +1,353 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Goleak enforces goroutine and timer hygiene in the process-lifetime
+// layers: every `go` statement in the scoped code must have a reachable
+// join — visible evidence inside the goroutine body that something else
+// can observe or trigger its termination — and every captured
+// time.Ticker/time.Timer must have a Stop path.
+//
+// Accepted join evidence, searched in the goroutine body (a func literal,
+// or the body of a statically-resolved module callee) and one level of
+// same-module callees below it:
+//
+//   - a receive (or range/select case) from a channel object that is
+//     close()d or sent to somewhere else in the package — the quit-channel
+//     pattern;
+//   - a send to a channel object that is received somewhere in the
+//     package — the done-channel handshake;
+//   - a call to Done on a sync.WaitGroup whose Wait is called in the
+//     package;
+//   - a call to (*os/exec.Cmd).Wait — the goroutine ends when the child
+//     process exits, which the supervisor's exit event observes.
+//
+// Timer rules: the results of time.NewTicker and time.NewTimer must have
+// a .Stop() call on the same object (variable or struct field) somewhere
+// in the package; time.AfterFunc is checked only when its result is
+// captured — a discarded AfterFunc is a one-shot that completes itself.
+//
+// Channel and WaitGroup identity is the types.Object of the variable or
+// struct field, so `close(e.quit)` in Close matches `<-e.quit` in a
+// worker regardless of receiver spelling. Channels passed through
+// function parameters are outside this net — keep the signal object and
+// its close in the same package, as all scoped code already does.
+var Goleak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines in cluster/parallel code need a reachable join; tickers and timers need a Stop path",
+	Run:  runGoleak,
+}
+
+// goleakPkgs are the package paths (prefix match) whose goroutines and
+// timers are process-lifetime-sensitive: the cluster supervisor and agents
+// run for many protocol generations, so an unjoined goroutine or
+// unstopped timer is a real leak, not shutdown noise.
+var goleakPkgs = []string{
+	"edgecache/internal/cluster",
+	"edgecache/internal/lint/fixtures/goleaksrc",
+}
+
+// goleakFiles extends the scope to single files: the parallel engine's
+// worker pool lives in an otherwise sequential package.
+var goleakFiles = map[string]map[string]bool{
+	"edgecache/internal/core": {"parallel.go": true},
+}
+
+func goleakInScope(pkgPath, filename string) bool {
+	for _, p := range goleakPkgs {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	if files := goleakFiles[pkgPath]; files != nil {
+		return files[filepath.Base(filename)]
+	}
+	return false
+}
+
+// goleakEvidence is the package-wide signal inventory the per-goroutine
+// checks match against.
+type goleakEvidence struct {
+	closedChans   map[types.Object]bool // close(ch)
+	sentChans     map[types.Object]bool // ch <- v
+	recvdChans    map[types.Object]bool // <-ch, range ch
+	waitedWGs     map[types.Object]bool // wg.Wait() on sync.WaitGroup
+	stoppedTimers map[types.Object]bool // t.Stop() on *time.Ticker/*time.Timer
+}
+
+func runGoleak(pass *Pass) {
+	pkg := pass.Pkg
+	inScope := false
+	for i := range pkg.Files {
+		if goleakInScope(pkg.Path, pkg.Filenames[i]) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+
+	ev := collectGoleakEvidence(pkg)
+	funcs := pass.Prog.moduleFuncs()
+
+	for i, file := range pkg.Files {
+		if !goleakInScope(pkg.Path, pkg.Filenames[i]) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.GoStmt:
+				checkGoStmt(pass, pkg, funcs, ev, node)
+			case *ast.AssignStmt:
+				for j, rhs := range node.Rhs {
+					kind := timerCtor(pkg, rhs)
+					if kind == "" {
+						continue
+					}
+					var target ast.Expr
+					if len(node.Lhs) == len(node.Rhs) {
+						target = node.Lhs[j]
+					} else if len(node.Lhs) > 0 {
+						target = node.Lhs[0]
+					}
+					checkTimerCapture(pass, pkg, ev, rhs.(*ast.CallExpr), kind, target)
+				}
+			case *ast.ExprStmt:
+				if kind := timerCtor(pkg, node.X); kind != "" && kind != "AfterFunc" {
+					// A discarded NewTicker/NewTimer can never be stopped;
+					// a discarded AfterFunc is a self-completing one-shot.
+					pass.Reportf(node.Pos(), "time.%s result is discarded, so the %s can never be stopped",
+						kind, timerNoun(kind))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func timerNoun(kind string) string {
+	if kind == "NewTicker" {
+		return "ticker"
+	}
+	return "timer"
+}
+
+// timerCtor reports which timer-allocating time function e calls ("" for
+// none).
+func timerCtor(pkg *Package, e ast.Expr) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return ""
+	}
+	switch fn.Name() {
+	case "NewTicker", "NewTimer", "AfterFunc":
+		return fn.Name()
+	}
+	return ""
+}
+
+// checkTimerCapture requires a package-wide Stop on the object the timer
+// was captured into.
+func checkTimerCapture(pass *Pass, pkg *Package, ev *goleakEvidence, call *ast.CallExpr, kind string, target ast.Expr) {
+	if target == nil {
+		return
+	}
+	if ident, ok := target.(*ast.Ident); ok && ident.Name == "_" {
+		if kind != "AfterFunc" {
+			pass.Reportf(call.Pos(), "time.%s result is discarded, so the %s can never be stopped", kind, timerNoun(kind))
+		}
+		return
+	}
+	obj := baseObject(pkg, target)
+	if obj == nil {
+		return
+	}
+	if !ev.stoppedTimers[obj] {
+		pass.Reportf(call.Pos(), "time.%s result %s has no Stop path in this package", kind, obj.Name())
+	}
+}
+
+// checkGoStmt requires join evidence in the goroutine body.
+func checkGoStmt(pass *Pass, pkg *Package, funcs map[*types.Func]modFunc, ev *goleakEvidence, g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	bodyPkg := pkg
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if callee := calleeFunc(pkg, g.Call); callee != nil {
+			if mf, ok := funcs[callee]; ok {
+				body, bodyPkg = mf.decl.Body, mf.pkg
+			}
+		}
+	}
+	if body == nil {
+		pass.Reportf(g.Pos(), "goroutine body cannot be resolved statically, so no join can be proven")
+		return
+	}
+	if !hasJoinEvidence(bodyPkg, funcs, ev, body, 2) {
+		pass.Reportf(g.Pos(), "goroutine has no reachable join (no quit-channel receive, done-channel send, WaitGroup.Done with a package Wait, or child-process Wait)")
+	}
+}
+
+// hasJoinEvidence searches a body (descending depth levels of static
+// same-module callees) for any accepted join signal.
+func hasJoinEvidence(pkg *Package, funcs map[*types.Func]modFunc, ev *goleakEvidence, body *ast.BlockStmt, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				if obj := baseObject(pkg, node.X); obj != nil &&
+					(ev.closedChans[obj] || ev.sentChans[obj]) {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if isChanType(pkg, node.X) {
+				if obj := baseObject(pkg, node.X); obj != nil &&
+					(ev.closedChans[obj] || ev.sentChans[obj]) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := baseObject(pkg, node.Chan); obj != nil && ev.recvdChans[obj] {
+				found = true
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pkg, node)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case fn.Name() == "Done" && isWaitGroupMethod(fn):
+				if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+					if obj := baseObject(pkg, sel.X); obj != nil && ev.waitedWGs[obj] {
+						found = true
+					}
+				}
+			case fn.Name() == "Wait" && isExecCmdMethod(fn):
+				found = true
+			default:
+				if depth > 0 {
+					if mf, ok := funcs[fn]; ok && mf.pkg == pkg {
+						if hasJoinEvidence(mf.pkg, funcs, ev, mf.decl.Body, depth-1) {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// collectGoleakEvidence inventories the whole package's channel, WaitGroup
+// and timer signals.
+func collectGoleakEvidence(pkg *Package) *goleakEvidence {
+	ev := &goleakEvidence{
+		closedChans:   map[types.Object]bool{},
+		sentChans:     map[types.Object]bool{},
+		recvdChans:    map[types.Object]bool{},
+		waitedWGs:     map[types.Object]bool{},
+		stoppedTimers: map[types.Object]bool{},
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if ident, ok := node.Fun.(*ast.Ident); ok && len(node.Args) == 1 {
+					if _, isBuiltin := pkg.Info.Uses[ident].(*types.Builtin); isBuiltin && ident.Name == "close" {
+						if obj := baseObject(pkg, node.Args[0]); obj != nil {
+							ev.closedChans[obj] = true
+						}
+						return true
+					}
+				}
+				fn := calleeFunc(pkg, node)
+				if fn == nil {
+					return true
+				}
+				sel, ok := node.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case fn.Name() == "Wait" && isWaitGroupMethod(fn):
+					if obj := baseObject(pkg, sel.X); obj != nil {
+						ev.waitedWGs[obj] = true
+					}
+				case fn.Name() == "Stop" && isTimerMethod(fn):
+					if obj := baseObject(pkg, sel.X); obj != nil {
+						ev.stoppedTimers[obj] = true
+					}
+				}
+			case *ast.SendStmt:
+				if obj := baseObject(pkg, node.Chan); obj != nil {
+					ev.sentChans[obj] = true
+				}
+			case *ast.UnaryExpr:
+				if node.Op == token.ARROW {
+					if obj := baseObject(pkg, node.X); obj != nil {
+						ev.recvdChans[obj] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if isChanType(pkg, node.X) {
+					if obj := baseObject(pkg, node.X); obj != nil {
+						ev.recvdChans[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return ev
+}
+
+func isChanType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+func methodRecvNamed(fn *types.Func, pkgPath, typeName string) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return recvName(sig.Recv().Type()) == typeName
+}
+
+func isWaitGroupMethod(fn *types.Func) bool {
+	return methodRecvNamed(fn, "sync", "WaitGroup")
+}
+
+func isExecCmdMethod(fn *types.Func) bool {
+	return methodRecvNamed(fn, "os/exec", "Cmd")
+}
+
+func isTimerMethod(fn *types.Func) bool {
+	return methodRecvNamed(fn, "time", "Ticker") || methodRecvNamed(fn, "time", "Timer")
+}

@@ -1,6 +1,6 @@
 // Package lint implements edgecache's custom static analyzers and the
-// small driver framework they run on. The five analyzers encode the
-// invariants the hot-path and protocol layers depend on but the compiler
+// small driver framework they run on. The analyzers encode the invariants
+// the hot-path, privacy, and protocol layers depend on but the compiler
 // cannot check:
 //
 //	noalloc      //edgecache:noalloc functions (and their module-internal
@@ -11,12 +11,21 @@
 //	flataccess   no raw Mat/Tensor3 backing-slice access outside
 //	             internal/model
 //	lockedsend   no blocking transport Send/Recv while a sync mutex is held
+//	privflow     //edgecache:private data must pass an LPPM sanitizer
+//	             before transport/checkpoint/log egress (interprocedural
+//	             taint)
+//	goleak       goroutines in cluster/parallel code need a reachable
+//	             join; tickers/timers need a Stop path
+//	atomicmix    a location accessed via sync/atomic is never touched
+//	             plainly
 //
 // The framework mirrors the golang.org/x/tools/go/analysis shape
 // (Analyzer, Pass, Diagnostic, suggested fixes) but is built purely on the
 // standard library's go/ast + go/types, because this build environment
-// cannot fetch external modules. Diagnostics can be suppressed line-by-line
-// with
+// cannot fetch external modules. Packages are analyzed concurrently (the
+// whole-program passes memoize behind sync.Once), and cmd/edgelint layers
+// a content-hash keyed result cache on top so repeat gate runs skip the
+// load entirely. Diagnostics can be suppressed line-by-line with
 //
 //	//edgecache:lint-ignore <analyzer> <reason>
 //
@@ -28,8 +37,10 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one static check.
@@ -90,6 +101,9 @@ func Analyzers() []*Analyzer {
 		FloatEq,
 		FlatAccess,
 		LockedSend,
+		Privflow,
+		Goleak,
+		Atomicmix,
 	}
 }
 
@@ -127,6 +141,20 @@ func DefaultSkip(pkgPath string) bool {
 // returns false (nil means analyze everything), applies the lint-ignore
 // directives, and returns the surviving diagnostics in file/line order.
 func (prog *Program) Run(analyzers []*Analyzer, skip func(pkgPath string) bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkgDiags := range prog.RunPerPackage(analyzers, skip) {
+		diags = append(diags, pkgDiags...)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// RunPerPackage is Run minus the final merge: it returns the surviving
+// (post-ignore) diagnostics keyed by package path, which is the unit the
+// edgelint result cache stores. Packages run concurrently; the analyzers
+// only read the type-checked program, and the whole-program passes
+// memoize behind sync.Once, so a per-package fan-out is safe.
+func (prog *Program) RunPerPackage(analyzers []*Analyzer, skip func(pkgPath string) bool) map[string][]Diagnostic {
 	ran := map[string]bool{}
 	for _, a := range analyzers {
 		ran[a.Name] = true
@@ -135,19 +163,56 @@ func (prog *Program) Run(analyzers []*Analyzer, skip func(pkgPath string) bool) 
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
-	var diags []Diagnostic
-	for _, pkg := range prog.Packages {
+
+	// Warm the shared whole-program results serially when their analyzers
+	// are requested: the first computation touches big shared state, and
+	// front-loading it keeps the per-package goroutines read-only.
+	for _, a := range analyzers {
+		switch a.Name {
+		case "noalloc":
+			prog.noallocResults()
+		case "privflow":
+			prog.privflowResults()
+		case "atomicmix":
+			prog.atomicResults()
+		}
+	}
+
+	results := make([][]Diagnostic, len(prog.Packages))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range prog.Packages {
 		if skip != nil && skip(pkg.Path) {
 			continue
 		}
-		ignores := collectIgnores(prog, pkg)
-		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &pkgDiags}
-			a.Run(pass)
-		}
-		diags = append(diags, applyIgnores(pkgDiags, ignores, ran, known)...)
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ignores := collectIgnores(prog, pkg)
+			var pkgDiags []Diagnostic
+			for _, a := range analyzers {
+				pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &pkgDiags}
+				a.Run(pass)
+			}
+			results[i] = applyIgnores(pkgDiags, ignores, ran, known)
+		}(i, pkg)
 	}
+	wg.Wait()
+
+	out := map[string][]Diagnostic{}
+	for i, pkg := range prog.Packages {
+		if skip != nil && skip(pkg.Path) {
+			continue
+		}
+		out[pkg.Path] = results[i]
+	}
+	return out
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -161,7 +226,6 @@ func (prog *Program) Run(analyzers []*Analyzer, skip func(pkgPath string) bool) 
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
 }
 
 // ignoreDirective is one parsed //edgecache:lint-ignore comment.

@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // The loader type-checks the module's packages without any dependency
@@ -58,9 +59,17 @@ type Program struct {
 	Packages []*Package
 	ByPath   map[string]*Package
 
-	// noalloc's whole-program results, computed once on demand.
-	noallocOnce bool
-	noallocDiag map[string][]Diagnostic
+	// The whole-program analyses (noalloc, privflow, atomicmix) and the
+	// shared function index compute once on demand; sync.Once makes the
+	// memoization safe under the parallel per-package driver.
+	noallocOnce  sync.Once
+	noallocDiag  map[string][]Diagnostic
+	privflowOnce sync.Once
+	privflowDiag map[string][]Diagnostic
+	atomicOnce   sync.Once
+	atomicDiag   map[string][]Diagnostic
+	funcsOnce    sync.Once
+	funcs        map[*types.Func]modFunc
 }
 
 type importerFunc func(string) (*types.Package, error)

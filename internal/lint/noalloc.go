@@ -67,10 +67,11 @@ type noallocFunc struct {
 // noallocResults runs the whole-program closure analysis once and caches
 // the per-package diagnostics.
 func (prog *Program) noallocResults() map[string][]Diagnostic {
-	if prog.noallocOnce {
-		return prog.noallocDiag
-	}
-	prog.noallocOnce = true
+	prog.noallocOnce.Do(prog.computeNoalloc)
+	return prog.noallocDiag
+}
+
+func (prog *Program) computeNoalloc() {
 	prog.noallocDiag = map[string][]Diagnostic{}
 
 	// Index every function body in the module and find the directive roots.
@@ -122,7 +123,6 @@ func (prog *Program) noallocResults() map[string][]Diagnostic {
 		}
 		prog.noallocDiag[nf.pkg.Path] = append(prog.noallocDiag[nf.pkg.Path], w.diags...)
 	}
-	return prog.noallocDiag
 }
 
 // collectResetVars finds local variables (re)initialized from a `buf[:0]`

@@ -12,10 +12,16 @@
 #   cmd/...            CLI drivers, including the edgelint self-check
 #
 # The edgelint gate runs the repository's custom analyzers (internal/lint):
-# noalloc, determinism, floateq, flataccess, lockedsend. It runs before the
-# race suites so invariant violations fail fast, and it must report zero
-# findings — suppressions need an //edgecache:lint-ignore <analyzer>
-# <reason> directive with a written reason.
+# noalloc, determinism, floateq, flataccess, lockedsend, plus the dataflow
+# tier — privflow (//edgecache:private data must pass an LPPM sanitizer
+# before transport/checkpoint/log egress), goleak (goroutines in
+# cluster/parallel code need a reachable join; tickers/timers need a Stop
+# path), and atomicmix (no plain access to sync/atomic locations). It runs
+# before the race suites so invariant violations fail fast, and it must
+# report zero findings — suppressions need an //edgecache:lint-ignore
+# <analyzer> <reason> directive with a written reason. Results are cached
+# per package on content hashes (see cmd/edgelint), so repeat runs cost
+# one `go list`.
 #
 # CI and pre-merge checks call this script; it exits non-zero on the first
 # failure. The full (non-race) suite is `go test ./...`.
