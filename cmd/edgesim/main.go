@@ -15,6 +15,7 @@
 //	edgesim -checkpoint-dir ckpt -resume   # continue from the newest snapshot
 //	edgesim -cluster -cells cells.json     # multi-process cluster (supervisor mode)
 //	edgesim -cluster -cells cells.json -proc-chaos "kill=cell-1@2"  # with process faults
+//	edgesim -cpuprofile cpu.pprof -memprofile mem.pprof -trace trace.out  # profile the run
 //
 // With -cluster the binary becomes a supervisor that re-executes itself as
 // agent processes (`edgesim -role bs|sbs ...`, an internal sub-entrypoint).
@@ -35,6 +36,7 @@ import (
 	"edgecache/internal/dp"
 	"edgecache/internal/experiments"
 	"edgecache/internal/model"
+	"edgecache/internal/prof"
 	"edgecache/internal/sim"
 	"edgecache/internal/transport"
 )
@@ -85,12 +87,23 @@ func run(args []string) error {
 		cellsPath   = fs.String("cells", "", "cluster spec JSON for -cluster")
 		procChaos   = fs.String("proc-chaos", "", "process-fault schedule for -cluster, e.g. \"kill=cell-1@2,stop=cell-0.1@1+100ms\"")
 		runDir      = fs.String("run-dir", "", "cluster run directory for -cluster (default: a fresh temp dir)")
+		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf     = fs.String("memprofile", "", "write a pprof heap profile (post-GC live set) to this file at exit")
+		traceOut    = fs.String("trace", "", "write a runtime execution trace of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := prof.Start(*cpuProf, *memProf, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer sess.Stop()
 	if *clusterMode {
-		return runCluster(*cellsPath, *procChaos, *runDir)
+		if err := runCluster(*cellsPath, *procChaos, *runDir); err != nil {
+			return err
+		}
+		return sess.Stop()
 	}
 	if *cellsPath != "" || *procChaos != "" || *runDir != "" {
 		return fmt.Errorf("-cells, -proc-chaos and -run-dir require -cluster")
@@ -343,5 +356,5 @@ func run(args []string) error {
 			100*(lrfu.OnlineCost.Total-res.Solution.Cost.Total)/lrfu.OnlineCost.Total,
 			100*(nc.Cost.Total-res.Solution.Cost.Total)/nc.Cost.Total)
 	}
-	return nil
+	return sess.Stop()
 }

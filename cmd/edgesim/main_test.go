@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // smallArgs shrinks the scenario so a full run stays fast in unit tests.
 func smallArgs(extra ...string) []string {
@@ -78,6 +82,28 @@ func TestRunSaveAndLoad(t *testing.T) {
 	}
 	if err := run([]string{"-load-instance", dir + "/missing.json"}); err == nil {
 		t.Error("missing file: want error")
+	}
+}
+
+func TestRunProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+	if err := run(smallArgs("-cpuprofile", cpu, "-memprofile", mem, "-trace", tr)); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem, tr} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	if err := run(smallArgs("-cpuprofile", filepath.Join(dir, "no", "dir", "cpu"))); err == nil {
+		t.Error("unwritable profile path: want error")
 	}
 }
 

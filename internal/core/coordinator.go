@@ -127,6 +127,12 @@ type Config struct {
 	// Workers sizes the parallel engine's pool; 0 means GOMAXPROCS. It is
 	// an error to set it for the sequential engines.
 	Workers int
+	// DisableIncremental turns off the dirty-set memo fast path and runs
+	// the engines exactly as the pre-memo reference: every sub-problem is
+	// re-solved every sweep and the Jacobi merge/repair touch every row.
+	// The trajectory is bit-identical either way (tests assert it); the
+	// flag exists for that assertion and for benchmarking the memo's win.
+	DisableIncremental bool
 	// Privacy, when non-nil, applies LPPM to every routing upload.
 	Privacy *PrivacyConfig
 
@@ -204,10 +210,36 @@ type RunResult struct {
 	// the γ-criterion stopped the run (as opposed to the sweep budget).
 	Sweeps    int
 	Converged bool
+	// Work records the dirty-set accounting of each sweep this run
+	// executed: how many sub-problems were actually solved and how many
+	// were served from the memo (see DESIGN.md "Incremental sweeps"). It is
+	// nil for engines without the accounting (the sim BS sweeper) and is
+	// not serialized in checkpoints — a resumed run restarts it, matching
+	// the memo itself being rebuilt rather than restored.
+	Work []SweepWork
 	// Faults holds the per-SBS fault accounting of a distributed run
 	// (one entry per SBS). It is nil for in-process runs, which have no
 	// network to fail.
 	Faults []SBSFaultStats
+}
+
+// SweepWork is one sweep's dirty-set accounting: Solves sub-problems were
+// recomputed, Skipped were answered verbatim from the per-SBS memo because
+// nothing they read had changed. Solves+Skipped == N for the in-process
+// engines.
+type SweepWork struct {
+	Solves  int
+	Skipped int
+}
+
+// TotalWork sums the per-sweep accounting.
+func (r *RunResult) TotalWork() SweepWork {
+	var t SweepWork
+	for _, w := range r.Work {
+		t.Solves += w.Solves
+		t.Skipped += w.Skipped
+	}
+	return t
 }
 
 // SBSFaultStats is the BS-observed fault record of one SBS agent over a
@@ -327,6 +359,24 @@ func NewCoordinator(inst *model.Instance, cfg Config) (*Coordinator, error) {
 // engine's worker pool). It is idempotent and safe to skip for the
 // sequential engines.
 func (c *Coordinator) Close() { c.engine.Close() }
+
+// incremental reports whether the engines may use the dirty-set memo fast
+// path. The attack taps observe every broadcast and upload, so a tapped
+// run must execute every phase in full — skipping would change what the
+// tap sees even though the trajectory is identical.
+func (c *Coordinator) incremental() bool {
+	return !c.cfg.DisableIncremental && c.cfg.BroadcastTap == nil && c.cfg.UploadTap == nil
+}
+
+// invalidateMemos drops every sub-problem memo. Engines call it on every
+// error return out of a sweep: an aborted round may have captured memos it
+// never installed, which would break the hit fast paths on a retry (see
+// Subproblem.memoInvalidate).
+func (c *Coordinator) invalidateMemos() {
+	for _, sub := range c.subs {
+		sub.memoInvalidate()
+	}
+}
 
 // Run executes the configured engine from the all-zero initial policy.
 // With Config.Restarts > 0 (Gauss-Seidel only) it additionally explores

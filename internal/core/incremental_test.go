@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"edgecache/internal/model"
+)
+
+// This file pins down the dirty-set memo fast path (DESIGN.md
+// "Incremental sweeps"): every engine must produce a trajectory bit-equal
+// to the memo-disabled reference — the memo may only skip work whose
+// recomputation would reproduce the exact same bits — while actually
+// skipping a meaningful share of solves on converging runs.
+
+// withIncremental / withoutIncremental toggle the memo on a base config.
+func withoutIncremental(cfg Config) Config {
+	cfg.DisableIncremental = true
+	return cfg
+}
+
+// runCfg builds a coordinator for cfg, runs it and returns the result.
+func runCfg(t *testing.T, inst *model.Instance, cfg Config) *RunResult {
+	t.Helper()
+	coord, err := NewCoordinator(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	res, err := coord.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestIncrementalBitIdenticalToReference is the memo's headline contract:
+// for every engine, with and without LPPM, the memo-enabled run is
+// byte-equal to the memo-disabled reference — history, final cost and both
+// final policies — and the non-private runs actually skip solves.
+func TestIncrementalBitIdenticalToReference(t *testing.T) {
+	// Seed and shape picked so the run reaches a bitwise fixed point
+	// within the budget on every engine — skips must actually occur for
+	// the assertion below to bite (an oscillating instance never skips).
+	rng := rand.New(rand.NewSource(41))
+	inst := randomInstance(rng, 10, 16, 20)
+
+	base := func(engine Config) Config {
+		// A tiny γ drives every engine to its bitwise fixed point, where
+		// skips concentrate; the budget keeps the test fast.
+		engine.Gamma = 1e-300
+		engine.MaxSweeps = 12
+		return engine
+	}
+	engines := map[string]Config{
+		"gs":        base(DefaultConfig()),
+		"jacobi":    base(jacobiCfg()),
+		"parallel1": base(parallelCfg(1)),
+		"parallel2": base(parallelCfg(2)),
+		"parallelN": base(parallelCfg(runtime.NumCPU())),
+	}
+
+	for name, cfg := range engines {
+		t.Run(name, func(t *testing.T) {
+			want := runCfg(t, inst, withoutIncremental(cfg))
+			got := runCfg(t, inst, cfg)
+			bitEqualResults(t, got, want, "memo vs reference")
+			if tw := got.TotalWork(); tw.Skipped == 0 {
+				t.Errorf("memo run skipped no solves (work %+v); the fast path never engaged", got.Work)
+			}
+			if tw := want.TotalWork(); tw.Skipped != 0 {
+				t.Errorf("DisableIncremental run skipped %d solves, want 0", tw.Skipped)
+			}
+		})
+		t.Run(name+"/lppm", func(t *testing.T) {
+			private := func(c Config) Config {
+				c.Privacy = &PrivacyConfig{Epsilon: 1.0, Delta: 0.4, Noise: NewNoiseSource(123)}
+				c.MaxSweeps = 6
+				return c
+			}
+			want := runCfg(t, inst, withoutIncremental(private(cfg)))
+			got := runCfg(t, inst, private(cfg))
+			// LPPM redraws noise every sweep, so blocks keep changing and
+			// skips are not expected — but the trajectories must still
+			// match exactly (the memo never fires on changed inputs).
+			bitEqualResults(t, got, want, "private memo vs reference")
+		})
+	}
+}
+
+// TestIncrementalSkipsOnStandardScenario is the CI tier gate against
+// silent memo regressions: on the standard N=20 scenario every engine
+// family must skip at least one solve, and the per-sweep accounting must
+// partition N exactly.
+func TestIncrementalSkipsOnStandardScenario(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	inst := randomInstance(rng, 20, 60, 80)
+
+	gs := DefaultConfig()
+	gs.Gamma = 1e-300
+	gs.MaxSweeps = 12
+	jac := jacobiCfg()
+	jac.MaxSweeps = 8
+	par := parallelCfg(2)
+	par.MaxSweeps = 8
+
+	for name, cfg := range map[string]Config{"gs": gs, "jacobi": jac, "parallel": par} {
+		t.Run(name, func(t *testing.T) {
+			res := runCfg(t, inst, cfg)
+			if len(res.Work) != res.Sweeps {
+				t.Fatalf("%d Work entries for %d sweeps", len(res.Work), res.Sweeps)
+			}
+			for i, w := range res.Work {
+				if w.Solves+w.Skipped != inst.N {
+					t.Fatalf("sweep %d work %+v does not partition N=%d", i, w, inst.N)
+				}
+				if w.Solves < 0 || w.Skipped < 0 {
+					t.Fatalf("sweep %d has negative work %+v", i, w)
+				}
+			}
+			if tw := res.TotalWork(); tw.Skipped == 0 {
+				t.Fatalf("no solves skipped over %d sweeps (work %v); dirty-set memo regressed", res.Sweeps, res.Work)
+			}
+		})
+	}
+}
+
+// TestIncrementalResumeBitIdentical extends the memo contract across
+// crash recovery: a memo-enabled run checkpointed after every phase
+// (mid-sweep included) must resume onto the memo-disabled reference
+// trajectory from every snapshot. The memo is rebuilt from scratch on
+// resume — a resumed tracker starts a fresh generation — so this also
+// exercises the re-learning path.
+func TestIncrementalResumeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	inst := randomInstance(rng, 6, 9, 11)
+
+	base := DefaultConfig()
+	base.Gamma = 1e-300
+	base.MaxSweeps = 8
+
+	want := runCfg(t, inst, withoutIncremental(base))
+
+	store := model.NewMemCheckpointStore(0)
+	ckCfg := base
+	ckCfg.Checkpoint = &CheckpointConfig{Sink: store, EachPhase: true}
+	full := runCfg(t, inst, ckCfg)
+	bitEqualResults(t, full, want, "checkpointed memo run vs reference")
+
+	snaps := store.All()
+	if len(snaps) < inst.N {
+		t.Fatalf("only %d snapshots captured; want mid-sweep coverage", len(snaps))
+	}
+	midSweep := false
+	for _, ck := range snaps {
+		if ck.Phase != 0 {
+			midSweep = true
+		}
+		fresh, err := NewCoordinator(inst, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fresh.Resume(ck)
+		if err != nil {
+			t.Fatalf("resume at sweep %d phase %d: %v", ck.Sweep, ck.Phase, err)
+		}
+		bitEqualResults(t, got, want, "memo resume vs reference")
+	}
+	if !midSweep {
+		t.Fatal("no mid-sweep snapshot exercised")
+	}
+
+	// Jacobi family: boundary snapshots, resumed under both engines.
+	jac := jacobiCfg()
+	jac.MaxSweeps = 8
+	jacWant := runCfg(t, inst, withoutIncremental(jac))
+	jacStore := model.NewMemCheckpointStore(0)
+	jacCk := jac
+	jacCk.Checkpoint = &CheckpointConfig{Sink: jacStore}
+	bitEqualResults(t, runCfg(t, inst, jacCk), jacWant, "checkpointed jacobi memo run vs reference")
+	for _, ck := range jacStore.All() {
+		for name, cfg := range map[string]Config{"jacobi": jac, "parallel": parallelCfg(2)} {
+			cfg.MaxSweeps = 8
+			fresh, err := NewCoordinator(inst, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fresh.Resume(ck)
+			fresh.Close()
+			if err != nil {
+				t.Fatalf("%s resume at round %d: %v", name, ck.Sweep, err)
+			}
+			bitEqualResults(t, got, jacWant, name+" memo resume vs reference")
+		}
+	}
+}
+
+// TestIncrementalRestartsIsolated pins the memo across Gauss-Seidel
+// restarts: each restart builds a fresh tracker, so memos captured in one
+// attempt must never leak hits into the next (the key carries the tracker
+// identity). The restarted run must match the memo-disabled reference.
+func TestIncrementalRestartsIsolated(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	inst := randomInstance(rng, 6, 8, 10)
+
+	cfg := DefaultConfig()
+	cfg.Gamma = 1e-300
+	cfg.MaxSweeps = 6
+	cfg.Restarts = 2
+	cfg.RestartSeed = 7
+
+	want := runCfg(t, inst, withoutIncremental(cfg))
+	got := runCfg(t, inst, cfg)
+	bitEqualResults(t, got, want, "restarted memo run vs reference")
+}
+
+// TestIncrementalTapsDisableMemo pins the observability escape hatch: a
+// tapped run must execute every phase in full, so the taps see every
+// broadcast even when the memo would have skipped the solve.
+func TestIncrementalTapsDisableMemo(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	inst := randomInstance(rng, 5, 7, 9)
+
+	broadcasts := 0
+	cfg := DefaultConfig()
+	cfg.Gamma = 1e-300
+	cfg.MaxSweeps = 8
+	cfg.BroadcastTap = func(int, int, [][]float64) { broadcasts++ }
+
+	res := runCfg(t, inst, cfg)
+	if tw := res.TotalWork(); tw.Skipped != 0 {
+		t.Fatalf("tapped run skipped %d solves; taps must disable the memo", tw.Skipped)
+	}
+	if want := res.Sweeps * inst.N; broadcasts != want {
+		t.Fatalf("tap observed %d broadcasts, want %d", broadcasts, want)
+	}
+}

@@ -12,22 +12,29 @@ import (
 // jacobiEngine on a persistent worker pool. Parallelism is safe and
 // deterministic by construction:
 //
-//   - Solve phase: the round's sub-problems are claimed dynamically off an
-//     atomic cursor. Each SBS n touches only its own solver workspace
-//     (c.subs[n]), its own caching-policy row (word-disjoint in the packed
-//     bitset) and its own U×F block of the next-round tensor, so distinct
-//     n never share memory. Every input (the pre-round policy and
-//     aggregate) is read-only during the phase.
+//   - Solve phase: the round's sub-problems are claimed in chunks off an
+//     atomic cursor (chunkSize claims per fetch-add, sized from
+//     N/workers, so the fan-out cost is a handful of CASes per worker
+//     rather than one per SBS). Each SBS n touches only its own solver
+//     workspace (c.subs[n]), its own caching-policy row (word-disjoint in
+//     the packed bitset) and its own U×F block of the next-round tensor,
+//     so distinct n never share memory. Every input (the pre-round policy
+//     and aggregate) is read-only during the phase. Memo hits — SBSs whose
+//     inputs carry unchanged epochs — skip the solve and copy the cached
+//     result instead; the driver sizes the number of woken workers from
+//     the miss count, and a fully-hit non-private round wakes nobody.
 //   - LPPM pass: noise draws come from one shared sequential stream, so
 //     the driver goroutine perturbs the uploads alone, in ascending SBS
 //     order — the same draw sequence as the sequential engines. Solves
 //     consume no randomness, so scheduling cannot reorder draws.
 //   - Merge and repair phases: the aggregate rebuild and the overserve
-//     repair are sharded by contiguous user-row ranges. Both accumulate
-//     each (u,f) entry over n in ascending order (see
+//     repair are sharded by contiguous user-row ranges and, with the memo
+//     enabled, touch only the rows some bitwise-changed block contributes
+//     to. Both accumulate each (u,f) entry over n in ascending order (see
 //     AggregateTracker.RebuildRows), so the reduction order — and
 //     therefore every floating-point bit — is independent of the worker
-//     count and of scheduling.
+//     count, of scheduling, and of which rows were skipped (a skipped
+//     row's recompute would reproduce its current bits).
 //
 // Workers park between phases on a wake channel and signal a done channel
 // after each phase, giving the engine a barrier per phase; the
@@ -37,17 +44,34 @@ type parallelJacobiEngine struct {
 	c       *Coordinator
 	workers int
 
-	// Per-worker y_{-n} scratch; everything else a worker touches is
-	// either read-only or owned by the SBS index or row range it claimed.
-	yMinus []model.Mat
-	next   *model.RoutingPolicy
+	// Per-worker scratch: y_{-n} matrices for the solve phase and
+	// length-F accumulation rows for the merge phase (shards of
+	// RebuildRowsScratch must not share scratch). Everything else a worker
+	// touches is either read-only or owned by the SBS index or row range
+	// it claimed.
+	yMinus       []model.Mat
+	mergeScratch [][]float64
+	next         *model.RoutingPolicy
 
 	// Phase plumbing, written by the driver goroutine before the wake
 	// tokens and read by workers after them.
-	st     *SweepState
-	phase  int
-	cursor atomic.Int64
-	errs   []error
+	st        *SweepState
+	phase     int
+	cursor    atomic.Int64
+	chunk     int // solve-phase claims per cursor fetch-add
+	active    int // workers woken for the current phase; shard divisor
+	memoRound bool
+	errs      []error
+
+	// Per-round dirty-set state. hit is the driver's memo pre-pass;
+	// dirtyBlock is written only by the worker that claimed the SBS (or by
+	// the driver's LPPM pass); dirtyRow is driver-only.
+	hit        []bool
+	dirtyBlock []bool
+	dirtyRow   []bool
+
+	// solves and skips are the engine-lifetime dirty-set accounting.
+	solves, skips uint64
 
 	started bool
 	closed  bool
@@ -72,23 +96,37 @@ func newParallelJacobiEngine(c *Coordinator, workers int) *parallelJacobiEngine 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &parallelJacobiEngine{
-		c:       c,
-		workers: workers,
-		yMinus:  make([]model.Mat, workers),
-		next:    model.NewRoutingPolicy(c.inst),
-		errs:    make([]error, workers),
-		wake:    make([]chan struct{}, workers),
-		done:    make(chan struct{}, workers),
-		quit:    make(chan struct{}),
+		c:            c,
+		workers:      workers,
+		yMinus:       make([]model.Mat, workers),
+		mergeScratch: make([][]float64, workers),
+		next:         model.NewRoutingPolicy(c.inst),
+		errs:         make([]error, workers),
+		hit:          make([]bool, c.inst.N),
+		dirtyBlock:   make([]bool, c.inst.N),
+		dirtyRow:     make([]bool, c.inst.U),
+		wake:         make([]chan struct{}, workers),
+		done:         make(chan struct{}, workers),
+		quit:         make(chan struct{}),
+	}
+	// Chunked claims amortize the cursor contention: ~4 chunks per worker
+	// keeps dynamic balancing while shrinking the CAS count from N to
+	// ~4·workers per round.
+	e.chunk = c.inst.N / (4 * workers)
+	if e.chunk < 1 {
+		e.chunk = 1
 	}
 	for w := range e.yMinus {
 		e.yMinus[w] = c.inst.NewUFMat()
+		e.mergeScratch[w] = make([]float64, c.inst.F)
 		e.wake[w] = make(chan struct{}, 1)
 	}
 	return e
 }
 
 func (e *parallelJacobiEngine) Kind() model.EngineKind { return model.EngineParallelJacobi }
+
+func (e *parallelJacobiEngine) workCounts() (uint64, uint64) { return e.solves, e.skips }
 
 // Close stops the worker pool. Idempotent.
 func (e *parallelJacobiEngine) Close() {
@@ -147,59 +185,131 @@ func (e *parallelJacobiEngine) runPhase(w int) {
 	case phaseSolve:
 		e.solveShare(w)
 	case phaseMerge:
+		// With the memo on, rebuild only the maximal runs of dirty rows in
+		// the shard: contiguous runs keep the merge cache-blocked — each
+		// call streams sequential aggregate and policy memory.
 		u0, u1 := e.rowRange(w)
-		e.st.Tracker.RebuildRows(e.c.inst, e.st.Y, u0, u1)
+		if !e.memoRound {
+			e.st.Tracker.RebuildRowsScratch(e.c.inst, e.st.Y, u0, u1, e.mergeScratch[w])
+			return
+		}
+		for r0 := u0; r0 < u1; {
+			if !e.dirtyRow[r0] {
+				r0++
+				continue
+			}
+			r1 := r0 + 1
+			for r1 < u1 && e.dirtyRow[r1] {
+				r1++
+			}
+			e.st.Tracker.RebuildRowsScratch(e.c.inst, e.st.Y, r0, r1, e.mergeScratch[w])
+			r0 = r1
+		}
 	case phaseRepair:
 		u0, u1 := e.rowRange(w)
-		e.st.Tracker.RepairOverserveRows(e.c.inst, e.st.Y, u0, u1)
+		if !e.memoRound {
+			e.st.Tracker.RepairOverserveRows(e.c.inst, e.st.Y, u0, u1)
+			return
+		}
+		for r0 := u0; r0 < u1; {
+			if !e.dirtyRow[r0] {
+				r0++
+				continue
+			}
+			r1 := r0 + 1
+			for r1 < u1 && e.dirtyRow[r1] {
+				r1++
+			}
+			e.st.Tracker.RepairOverserveRows(e.c.inst, e.st.Y, r0, r1)
+			r0 = r1
+		}
 	}
 }
 
-// solveShare claims sub-problems off the shared cursor until the round is
-// drained.
+// solveShare claims chunks of sub-problems off the shared cursor until the
+// round is drained. Memo hits copy the cached result; misses solve.
 //
 //edgecache:noalloc
 func (e *parallelJacobiEngine) solveShare(w int) {
 	c, inst, st := e.c, e.c.inst, e.st
 	for {
-		n := int(e.cursor.Add(1)) - 1
-		if n >= inst.N {
+		base := int(e.cursor.Add(int64(e.chunk))) - e.chunk
+		if base >= inst.N {
 			return
 		}
-		if e.errs[w] != nil {
-			continue // drain the cursor; the round already failed
+		top := base + e.chunk
+		if top > inst.N {
+			top = inst.N
 		}
-		st.Tracker.YMinusInto(inst, st.Y, n, e.yMinus[w])
-		sub, err := c.subs[n].Solve(e.yMinus[w])
-		if err != nil {
-			e.errs[w] = err
-			continue
+		for n := base; n < top; n++ {
+			if e.errs[w] != nil {
+				continue // drain the cursor; the round already failed
+			}
+			if e.hit[n] {
+				// The cached result is bit-identical to what a re-solve
+				// would produce; install its clean routing so the LPPM pass
+				// (or the swap) sees exactly what the reference engine
+				// would have written.
+				sub := c.subs[n].cachedResult()
+				st.X.SetRow(n, sub.Cache)
+				e.next.SetSBS(n, sub.Routing)
+				e.dirtyBlock[n] = false
+				continue
+			}
+			st.Tracker.YMinusInto(inst, st.Y, n, e.yMinus[w])
+			sub, err := c.subs[n].Solve(e.yMinus[w])
+			if err != nil {
+				e.errs[w] = err
+				continue
+			}
+			if e.memoRound {
+				c.subs[n].memoCapture(st.Tracker)
+			}
+			st.X.SetRow(n, sub.Cache)
+			// Change detection against the pre-round block (st.Y is frozen
+			// for the phase). Without the memo the round is the full
+			// reference: every block counts as dirty.
+			e.dirtyBlock[n] = !e.memoRound || !st.Y.SBS(n).BitsEqual(sub.Routing)
+			e.next.SetSBS(n, sub.Routing)
 		}
-		st.X.SetRow(n, sub.Cache)
-		e.next.SetSBS(n, sub.Routing)
 	}
 }
 
 // rowRange is worker w's static user-row shard [u0, u1) for the merge and
-// repair phases. Contiguous ranges keep each worker on sequential memory.
+// repair phases, split across the workers woken for the phase. Contiguous
+// ranges keep each worker on sequential memory.
 //
 //edgecache:noalloc
 func (e *parallelJacobiEngine) rowRange(w int) (int, int) {
 	u := e.c.inst.U
-	return w * u / e.workers, (w + 1) * u / e.workers
+	return w * u / e.active, (w + 1) * u / e.active
 }
 
-// barrier publishes phase to the pool and blocks until every worker has
-// finished its share.
-func (e *parallelJacobiEngine) barrier(phase int) {
+// barrier publishes phase to the first `active` workers and blocks until
+// every one of them has finished its share. Sizing active from the actual
+// work (miss count, dirty-row count) is what keeps all-hit and mostly-hit
+// rounds from paying workers·(wake+park) for nothing.
+func (e *parallelJacobiEngine) barrier(phase, active int) {
 	e.phase = phase
+	e.active = active
 	e.cursor.Store(0)
-	for w := 0; w < e.workers; w++ {
+	for w := 0; w < active; w++ {
 		e.wake[w] <- struct{}{}
 	}
-	for w := 0; w < e.workers; w++ {
+	for w := 0; w < active; w++ {
 		<-e.done
 	}
+}
+
+// clampWorkers bounds a work-derived worker count to [1, workers].
+func (e *parallelJacobiEngine) clampWorkers(work int) int {
+	if work < 1 {
+		work = 1
+	}
+	if work > e.workers {
+		work = e.workers
+	}
+	return work
 }
 
 func (e *parallelJacobiEngine) Sweep(st *SweepState, sweep, first int, phaseDone func(int) error) error {
@@ -210,36 +320,95 @@ func (e *parallelJacobiEngine) Sweep(st *SweepState, sweep, first int, phaseDone
 		return err
 	}
 	c, inst := e.c, e.c.inst
+	memo := c.incremental()
+	e.memoRound = memo
+
+	// Memo pre-pass (driver-side, serial): classify each SBS before any
+	// worker wakes, so the wake count can be sized from the misses.
+	misses := 0
+	for n := 0; n < inst.N; n++ {
+		e.hit[n] = memo && c.subs[n].memoHit(st.Tracker)
+		if !e.hit[n] {
+			misses++
+		}
+	}
+	if memo && c.lppm == nil && misses == 0 {
+		// Fully-hit non-private round: every block would be re-derived
+		// bit-identically, so the round is a no-op — no wakeups, no swap,
+		// no merge. The γ rule sees an identical cost and stops.
+		e.skips += uint64(inst.N)
+		return nil
+	}
+
 	e.st = st
 	for w := range e.errs {
 		e.errs[w] = nil
 	}
 
-	// Solve every sub-problem against the same pre-round aggregate; the
-	// raw uploads land in e.next while st.Y stays frozen as the round's
-	// read-only input.
-	e.barrier(phaseSolve)
+	// Solve every miss against the same pre-round aggregate (hits copy
+	// their cached result); the raw uploads land in e.next while st.Y
+	// stays frozen as the round's read-only input. Hit copies are memcpy
+	// cheap, so the wake count follows the solve work.
+	chunks := (inst.N + e.chunk - 1) / e.chunk
+	solveWorkers := e.clampWorkers(misses)
+	if solveWorkers > chunks {
+		solveWorkers = chunks
+	}
+	e.barrier(phaseSolve, solveWorkers)
 	for _, err := range e.errs {
 		if err != nil {
+			c.invalidateMemos()
+			e.st = nil
 			return err
 		}
 	}
+	e.solves += uint64(misses)
+	e.skips += uint64(inst.N - misses)
 
 	// Privacy pass: one shared noise stream means one drawer. Ascending
 	// SBS order reproduces the sequential engines' draw sequence exactly.
+	// The perturbed upload decides the block's dirtiness.
 	if c.lppm != nil {
 		for n := 0; n < inst.N; n++ {
 			upload, err := c.lppm.PerturbSBS(n, e.next.SBS(n))
 			if err != nil {
+				c.invalidateMemos()
+				e.st = nil
 				return err
 			}
+			e.dirtyBlock[n] = !memo || !st.Y.SBS(n).BitsEqual(upload)
 			e.next.SetSBS(n, upload)
 		}
 	}
 
 	st.Y.Swap(e.next)
-	e.barrier(phaseMerge)
-	e.barrier(phaseRepair)
+	if !markDirtyRows(inst, e.dirtyBlock, e.dirtyRow) {
+		// Every upload reproduced its previous bits; the aggregate is
+		// already exact and repaired.
+		e.st = nil
+		return nil
+	}
+	st.Tracker.BeginPhase()
+	dirtyRows := 0
+	for n, dirty := range e.dirtyBlock {
+		if dirty {
+			st.Tracker.MarkBlockDirty(n)
+		}
+	}
+	for _, dirty := range e.dirtyRow {
+		if dirty {
+			dirtyRows++
+		}
+	}
+	mergeWorkers := e.workers
+	if memo {
+		// A worker per handful of dirty rows: a nearly-converged round
+		// re-merges a sliver of the aggregate and should not pay
+		// workers·(wake+park) to do it.
+		mergeWorkers = e.clampWorkers((dirtyRows + 15) / 16)
+	}
+	e.barrier(phaseMerge, mergeWorkers)
+	e.barrier(phaseRepair, mergeWorkers)
 	e.st = nil
 	return nil
 }

@@ -1,0 +1,101 @@
+// Package prof is the shared pprof/trace harness behind the CLI profiling
+// flags (-cpuprofile, -memprofile, -trace on benchfig and edgesim). It
+// exists so both commands expose the identical contract: CPU and
+// execution-trace capture bracket the run, and the heap profile is
+// captured once at stop time after a forced GC — the steady-state live
+// set, which is the number the zero-alloc sweep contract is about.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Session holds the open profile destinations between Start and Stop.
+type Session struct {
+	cpuFile   *os.File
+	traceFile *os.File
+	memPath   string
+}
+
+// Start begins the capture described by the three paths; any of them may
+// be empty to skip that profile. On error every already-started capture is
+// unwound, so a failed Start never leaks a running profiler.
+func Start(cpuPath, memPath, tracePath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			s.abort()
+			return nil, fmt.Errorf("prof: trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			s.abort()
+			return nil, fmt.Errorf("prof: trace: %w", err)
+		}
+		s.traceFile = f
+	}
+	return s, nil
+}
+
+// abort unwinds a partially started session.
+func (s *Session) abort() {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		s.cpuFile.Close()
+		s.cpuFile = nil
+	}
+}
+
+// Stop ends every capture the session started and writes the heap profile,
+// if one was requested. Safe to call on a nil session and idempotent, so
+// callers can `defer sess.Stop()` and also stop explicitly before reading
+// the files.
+func (s *Session) Stop() error {
+	if s == nil {
+		return nil
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+		s.cpuFile = nil
+	}
+	if s.traceFile != nil {
+		trace.Stop()
+		keep(s.traceFile.Close())
+		s.traceFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			keep(fmt.Errorf("prof: mem profile: %w", err))
+		} else {
+			runtime.GC() // materialize the steady-state live set
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+		s.memPath = ""
+	}
+	return firstErr
+}

@@ -1,0 +1,75 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartStopWritesAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+
+	sess, err := Start(cpu, mem, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have content.
+	sink := 0.0
+	buf := make([]float64, 1<<12)
+	for i := range buf {
+		buf[i] = float64(i)
+		sink += buf[i]
+	}
+	_ = sink
+	if err := sess.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Stop(); err != nil { // idempotent
+		t.Fatalf("second Stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem, tr} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestEmptyPathsAreNoops(t *testing.T) {
+	sess, err := Start("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	var nilSess *Session
+	if err := nilSess.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartUnwritablePathFails(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu"), "", ""); err == nil {
+		t.Fatal("want error for unwritable cpu profile path")
+	}
+	// A failed trace start must unwind the already-running CPU profile so a
+	// later Start succeeds.
+	dir := t.TempDir()
+	if _, err := Start(filepath.Join(dir, "cpu"), "", filepath.Join(dir, "no", "trace")); err == nil {
+		t.Fatal("want error for unwritable trace path")
+	}
+	sess, err := Start(filepath.Join(dir, "cpu2"), "", "")
+	if err != nil {
+		t.Fatalf("cpu profiler leaked from failed Start: %v", err)
+	}
+	if err := sess.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
