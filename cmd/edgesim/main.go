@@ -15,6 +15,9 @@
 //	edgesim -checkpoint-dir ckpt -resume   # continue from the newest snapshot
 //	edgesim -cluster -cells cells.json     # multi-process cluster (supervisor mode)
 //	edgesim -cluster -cells cells.json -proc-chaos "kill=cell-1@2"  # with process faults
+//	edgesim -soak -soak-episodes 25 -soak-seed 1   # randomized chaos soak with fault minimization
+//	edgesim -soak -soak-cluster 2          # append supervised multi-process soak episodes
+//	edgesim -soak -soak-repro soak-repro-ep3-seed42.txt  # replay a minimized failing schedule
 //	edgesim -cpuprofile cpu.pprof -memprofile mem.pprof -trace trace.out  # profile the run
 //
 // With -cluster the binary becomes a supervisor that re-executes itself as
@@ -87,6 +90,13 @@ func run(args []string) error {
 		cellsPath   = fs.String("cells", "", "cluster spec JSON for -cluster")
 		procChaos   = fs.String("proc-chaos", "", "process-fault schedule for -cluster, e.g. \"kill=cell-1@2,stop=cell-0.1@1+100ms\"")
 		runDir      = fs.String("run-dir", "", "cluster run directory for -cluster (default: a fresh temp dir)")
+		soakMode    = fs.Bool("soak", false, "run the randomized chaos soak harness instead of a scenario")
+		soakEps     = fs.Int("soak-episodes", 10, "in-process soak episode count")
+		soakSeed    = fs.Int64("soak-seed", 1, "soak base seed (derives every episode's schedule)")
+		soakCluster = fs.Int("soak-cluster", 0, "supervised multi-process soak episodes to append")
+		soakDisk    = fs.Bool("soak-disk", true, "run the per-episode disk fault-injection drill")
+		soakRepro   = fs.String("soak-repro", "", "replay a minimized soak repro file instead of soaking")
+		soakDir     = fs.String("soak-repro-dir", ".", "directory for minimized repro files on soak failure")
 		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf     = fs.String("memprofile", "", "write a pprof heap profile (post-GC live set) to this file at exit")
 		traceOut    = fs.String("trace", "", "write a runtime execution trace of the run to this file")
@@ -107,6 +117,12 @@ func run(args []string) error {
 	}
 	if *cellsPath != "" || *procChaos != "" || *runDir != "" {
 		return fmt.Errorf("-cells, -proc-chaos and -run-dir require -cluster")
+	}
+	if *soakMode || *soakRepro != "" {
+		if err := runSoak(*soakEps, *soakSeed, *soakCluster, *soakDisk, *soakDir, *soakRepro); err != nil {
+			return err
+		}
+		return sess.Stop()
 	}
 	engineKind, err := model.ParseEngineKind(*engine)
 	if err != nil {
@@ -278,7 +294,9 @@ func run(args []string) error {
 		defer coord.Close()
 		if *resume {
 			mode += " (resumed)"
-			ck, lerr := store.Latest()
+			// Resume follows an interrupted run: CRC-verify candidates and
+			// quarantine corrupt ones on the way to the newest intact.
+			ck, lerr := store.DeepLatest()
 			if lerr != nil {
 				return fmt.Errorf("resume from %s: %w", *ckptDir, lerr)
 			}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"edgecache/internal/soak"
+)
+
+// runSoak drives the randomized chaos soak harness (-soak) or replays a
+// previously minimized repro file (-soak-repro).
+func runSoak(episodes int, seed int64, clusterEpisodes int, disk bool, reproDir, reproPath string) error {
+	ctx := context.Background()
+	if reproPath != "" {
+		return replayRepro(ctx, disk, reproPath)
+	}
+	cfg := soak.Config{
+		Episodes:        episodes,
+		Seed:            seed,
+		DiskFaults:      disk,
+		ReproDir:        reproDir,
+		ClusterEpisodes: clusterEpisodes,
+		Log:             os.Stdout,
+	}
+	if clusterEpisodes > 0 {
+		// Supervised episodes re-execute this binary as the agent (the
+		// same "-role" sub-entrypoint -cluster uses).
+		self, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("soak: resolve agent binary: %w", err)
+		}
+		cfg.Command = []string{self}
+	}
+	res, err := soak.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if f := res.Failure; f != nil {
+		for _, v := range f.Violations {
+			fmt.Printf("violated %s\n", v)
+		}
+		return fmt.Errorf("soak: episode %d (seed %d) violated %d invariant(s); minimized repro: %s",
+			f.Episode, f.Seed, len(f.Violations), f.ReproPath)
+	}
+	fmt.Printf("soak passed: %d in-process episodes", res.Episodes)
+	if res.ClusterEpisodes > 0 {
+		fmt.Printf(", %d cluster episodes", res.ClusterEpisodes)
+	}
+	if disk {
+		fmt.Printf("; disk faults injected: %d (%d short writes, %d ENOSPC, %d rename failures, %d torn renames, %d bit rots)",
+			res.DiskStats.Total(), res.DiskStats.ShortWrites, res.DiskStats.ENOSPC,
+			res.DiskStats.RenameFails, res.DiskStats.TornRenames, res.DiskStats.BitRots)
+	}
+	fmt.Println()
+	return nil
+}
+
+// replayRepro re-runs a minimized repro under the same invariant checker.
+// Reproducing the failure exits non-zero — the repro documents a bug, so a
+// clean exit means it has been fixed.
+func replayRepro(ctx context.Context, disk bool, path string) error {
+	repro, err := soak.ParseReproFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %s (episode %d, seed %d, spec %q)\n", path, repro.Episode, repro.Seed, repro.Spec)
+	violations, err := soak.ReplayRepro(ctx, soak.Config{DiskFaults: disk, Log: os.Stdout}, repro)
+	if err != nil {
+		return err
+	}
+	if len(violations) == 0 {
+		fmt.Println("repro no longer triggers any invariant violation")
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Printf("violated %s\n", v)
+	}
+	return fmt.Errorf("repro still triggers %d invariant violation(s)", len(violations))
+}

@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecRoundTrip pins the Spec() formatter to the parser: any spec
+// string ParseSpec accepts must re-render to a string that parses back to
+// the structurally identical schedule. This is the property soak repro
+// files depend on — a minimized schedule is persisted as its spec string,
+// so formatting must never lose or reorder information. The committed
+// corpus under testdata/fuzz covers every directive, phase-granular
+// triggers, all-links targets, and fault attribute lists.
+func FuzzSpecRoundTrip(f *testing.F) {
+	seeds := []string{
+		"seed=7,drop=0.3,crash=1@2+3",
+		"bscrash=2+1,drop=0.25,dup=0.1",
+		"partition=0@1+2,delay=5ms,reorder=0.05",
+		"crash=1@2,restart=1@4,crash=2@2,restart=2@3",
+		"partition=0@1,heal=0@3",
+		"linkfault=2@1:drop=0.2;delay=2ms,linkfault=2@3",
+		"linkfault=*@2:dup=0.015",
+		"crash=1@2.1,restart=1@3.0",
+		"seed=-42,bscrash=1,bsrestart=2",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		orig, err := ParseSpec(spec)
+		if err != nil {
+			return // parser hardening is FuzzSpec's job
+		}
+		rendered := orig.Spec()
+		again, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("Spec() of accepted schedule does not re-parse:\n  input:    %q\n  rendered: %q\n  error:    %v", spec, rendered, err)
+		}
+		if !reflect.DeepEqual(orig, again) {
+			t.Fatalf("round trip changed the schedule:\n  input:    %q\n  rendered: %q\n  before:   %+v\n  after:    %+v", spec, rendered, orig, again)
+		}
+		// The rendering must also be a fixed point: formatting the
+		// re-parsed schedule yields the same string.
+		if second := again.Spec(); second != rendered {
+			t.Fatalf("Spec() is not a fixed point: %q then %q", rendered, second)
+		}
+	})
+}
+
+// FuzzProcSpecRoundTrip is the same property for -proc-chaos specs and
+// ProcSchedule.Spec().
+func FuzzProcSpecRoundTrip(f *testing.F) {
+	seeds := []string{
+		"kill=cell-1@2",
+		"stop=cell-0@1+100ms,kill=cell-0.2@3",
+		"spawndelay=cell-0@50ms,kill=cell-0@2",
+		"kill=cell-0@1,kill=cell-1@1,stop=cell-1.3@2+1.5ms",
+		"spawndelay=cell-a.0@1h,stop=cell-a.0@9+250ms",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		orig, err := ParseProcSpec(spec)
+		if err != nil {
+			return
+		}
+		rendered := orig.Spec()
+		again, err := ParseProcSpec(rendered)
+		if err != nil {
+			t.Fatalf("Spec() of accepted proc schedule does not re-parse:\n  input:    %q\n  rendered: %q\n  error:    %v", spec, rendered, err)
+		}
+		if !reflect.DeepEqual(orig, again) {
+			t.Fatalf("round trip changed the proc schedule:\n  input:    %q\n  rendered: %q\n  before:   %+v\n  after:    %+v", spec, rendered, orig, again)
+		}
+		if second := again.Spec(); second != rendered {
+			t.Fatalf("ProcSchedule.Spec() is not a fixed point: %q then %q", rendered, second)
+		}
+	})
+}

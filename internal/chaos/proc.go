@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -162,7 +163,7 @@ func ParseProcSpec(spec string) (ProcSchedule, error) {
 		}
 		key, val, ok := strings.Cut(item, "=")
 		if !ok {
-			return ProcSchedule{}, fmt.Errorf("chaos: %q: want key=value", item)
+			return ProcSchedule{}, specItemError(spec, item, errors.New("want key=value"))
 		}
 		var (
 			ev  ProcEvent
@@ -178,14 +179,18 @@ func ParseProcSpec(spec string) (ProcSchedule, error) {
 		case "spawndelay":
 			ev, err = parseSpawnDelay(val)
 		default:
-			return ProcSchedule{}, fmt.Errorf("chaos: unknown proc directive %q", key)
+			return ProcSchedule{}, specItemError(spec, item, errors.New("unknown proc directive"))
 		}
 		if err != nil {
-			return ProcSchedule{}, fmt.Errorf("chaos: %q: %w", item, err)
+			return ProcSchedule{}, specItemError(spec, item, err)
 		}
 		s.Events = append(s.Events, ev)
 	}
 	if err := checkProcConflicts(s.Events); err != nil {
+		var conflict *SpecConflictError
+		if errors.As(err, &conflict) {
+			conflict.Spec = spec
+		}
 		return ProcSchedule{}, err
 	}
 	return s, nil

@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestRandomScheduleDeterministic pins the generator contract soak relies
+// on: the same config names the same schedule forever.
+func TestRandomScheduleDeterministic(t *testing.T) {
+	cfg := RandomScheduleConfig{Seed: 42, N: 3}
+	a, err := RandomSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config, different schedules:\n%+v\n%+v", a, b)
+	}
+	if a.Seed != 42 {
+		t.Fatalf("schedule seed %d, want the config seed 42", a.Seed)
+	}
+}
+
+// TestRandomScheduleAlwaysValid sweeps many seeds and asserts every draw
+// validates, passes the spec conflict rules, stays inside the sweep
+// budget, pairs every crash with a restart, and round-trips through
+// Spec()/ParseSpec — the full set of structural guarantees the generator
+// documents.
+func TestRandomScheduleAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		cfg := RandomScheduleConfig{Seed: seed, N: 4, MaxSweep: 8, Events: 6, Intensity: 1}
+		s, err := RandomSchedule(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Validate(cfg.N); err != nil {
+			t.Fatalf("seed %d: generated schedule invalid: %v", seed, err)
+		}
+		if err := checkSpecConflicts(s.Events); err != nil {
+			t.Fatalf("seed %d: generated schedule conflicts: %v", seed, err)
+		}
+		crashes := map[int]int{}
+		for _, ev := range s.Events {
+			if ev.Sweep < 1 || ev.Sweep > cfg.MaxSweep {
+				t.Fatalf("seed %d: event %v outside sweep budget [1, %d]", seed, ev, cfg.MaxSweep)
+			}
+			switch ev.Op {
+			case OpCrash, OpBSCrash:
+				crashes[ev.SBS]++
+			case OpRestart, OpBSRestart:
+				crashes[ev.SBS]--
+			}
+		}
+		for sbs, n := range crashes {
+			if n != 0 {
+				t.Fatalf("seed %d: target %d has %d unpaired crash(es):\n%s", seed, sbs, n, s.Spec())
+			}
+		}
+		rendered := s.Spec()
+		again, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("seed %d: generated schedule does not re-parse: %v\nspec: %s", seed, err, rendered)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("seed %d: round trip changed generated schedule:\nspec:   %s\nbefore: %+v\nafter:  %+v", seed, rendered, s, again)
+		}
+	}
+}
+
+// TestRandomScheduleWeights checks a single-operation weight vector only
+// emits that operation.
+func TestRandomScheduleWeights(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s, err := RandomSchedule(RandomScheduleConfig{
+			Seed: seed, N: 3, Events: 5,
+			Weights: ScheduleWeights{Crash: 1},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, ev := range s.Events {
+			if ev.Op != OpCrash && ev.Op != OpRestart {
+				t.Fatalf("seed %d: crash-only weights produced %v", seed, ev)
+			}
+		}
+	}
+}
+
+// TestRandomScheduleRejectsBadConfig covers the config validation paths.
+func TestRandomScheduleRejectsBadConfig(t *testing.T) {
+	cases := []RandomScheduleConfig{
+		{Seed: 1, N: 0},
+		{Seed: 1, N: 3, Intensity: 1.5},
+		{Seed: 1, N: 3, MaxSweep: 1},
+		{Seed: 1, N: 3, Weights: ScheduleWeights{Crash: -1, Partition: 1}},
+	}
+	for _, cfg := range cases {
+		if _, err := RandomSchedule(cfg); err == nil {
+			t.Errorf("config %+v: expected error", cfg)
+		}
+	}
+}
+
+// TestRandomProcScheduleAlwaysValid is the proc-schedule analogue of
+// TestRandomScheduleAlwaysValid: every draw validates against the cluster
+// shape, obeys the one-kill/one-spawn-delay-per-target caps, and
+// round-trips through Spec()/ParseProcSpec.
+func TestRandomProcScheduleAlwaysValid(t *testing.T) {
+	cells := []ProcCell{{Name: "cell-0", SBSs: 3}, {Name: "cell-1", SBSs: 2}}
+	lookup := func(name string) int {
+		for _, c := range cells {
+			if c.Name == name {
+				return c.SBSs
+			}
+		}
+		return -1
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		cfg := RandomProcScheduleConfig{Seed: seed, Cells: cells, Events: 5}
+		s, err := RandomProcSchedule(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Validate(lookup); err != nil {
+			t.Fatalf("seed %d: generated proc schedule invalid: %v", seed, err)
+		}
+		kills := map[string]int{}
+		delays := map[string]int{}
+		for _, ev := range s.Events {
+			switch ev.Op {
+			case ProcKill:
+				kills[ev.target()]++
+			case ProcSpawnDelay:
+				delays[ev.target()]++
+			}
+		}
+		for target, n := range kills {
+			if n > 1 {
+				t.Fatalf("seed %d: target %s killed %d times", seed, target, n)
+			}
+		}
+		for target, n := range delays {
+			if n > 1 {
+				t.Fatalf("seed %d: target %s has %d spawn delays", seed, target, n)
+			}
+		}
+		rendered := s.Spec()
+		again, err := ParseProcSpec(rendered)
+		if err != nil {
+			t.Fatalf("seed %d: generated proc schedule does not re-parse: %v\nspec: %s", seed, err, rendered)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("seed %d: round trip changed generated proc schedule:\nspec: %s", seed, rendered)
+		}
+	}
+}
+
+// TestRandomProcScheduleStopBudget checks stop windows respect MaxStop.
+func TestRandomProcScheduleStopBudget(t *testing.T) {
+	maxStop := 60 * time.Millisecond
+	for seed := int64(0); seed < 50; seed++ {
+		s, err := RandomProcSchedule(RandomProcScheduleConfig{
+			Seed:    seed,
+			Cells:   []ProcCell{{Name: "c", SBSs: 2}},
+			Events:  6,
+			MaxStop: maxStop,
+			Weights: ProcWeights{Stop: 1},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, ev := range s.Events {
+			if ev.Op != ProcStop {
+				t.Fatalf("seed %d: stop-only weights produced %v", seed, ev)
+			}
+			if ev.Delay <= 0 || ev.Delay > maxStop {
+				t.Fatalf("seed %d: stop delay %v outside (0, %v]", seed, ev.Delay, maxStop)
+			}
+		}
+	}
+}

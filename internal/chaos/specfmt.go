@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"edgecache/internal/transport"
+)
+
+// Spec formats the schedule as a -chaos spec string that ParseSpec parses
+// back to the same schedule: seed and baseline link faults first, then one
+// directive per event in Events order (a crash/restart pair formats as two
+// directives, not crash=S@W+K — the parse is identical either way).
+//
+// The rendering is faithful for every schedule whose written event order
+// satisfies the per-target discipline ParseSpec enforces — which includes
+// everything ParseSpec or RandomSchedule produced. A programmatic schedule
+// with per-target time-unordered events still formats, but the string will
+// be rejected on re-parse with the same *SpecConflictError a hand-written
+// equivalent would get. Event.Faults.Seed is not representable (the runner
+// ignores it and derives per-link seeds from Schedule.Seed).
+func (s Schedule) Spec() string {
+	parts := []string{"seed=" + strconv.FormatInt(s.Seed, 10)}
+	parts = append(parts, faultPairs(s.Links)...)
+	for _, ev := range s.Events {
+		parts = append(parts, eventSpec(ev))
+	}
+	return strings.Join(parts, ",")
+}
+
+// eventSpec renders one event as its spec directive.
+func eventSpec(ev Event) string {
+	trigger := formatTrigger(ev.Sweep, ev.Phase)
+	switch ev.Op {
+	case OpCrash:
+		return fmt.Sprintf("crash=%d@%s", ev.SBS, trigger)
+	case OpRestart:
+		return fmt.Sprintf("restart=%d@%s", ev.SBS, trigger)
+	case OpPartition:
+		if ev.Phases > 0 {
+			return fmt.Sprintf("partition=%d@%s+%d", ev.SBS, trigger, ev.Phases)
+		}
+		return fmt.Sprintf("partition=%d@%s", ev.SBS, trigger)
+	case OpHeal:
+		return fmt.Sprintf("heal=%d@%s", ev.SBS, trigger)
+	case OpLinkFaults:
+		target := strconv.Itoa(ev.SBS)
+		if ev.SBS == -1 {
+			target = "*"
+		}
+		pairs := faultPairs(ev.Faults)
+		if len(pairs) == 0 {
+			return fmt.Sprintf("linkfault=%s@%s", target, trigger)
+		}
+		return fmt.Sprintf("linkfault=%s@%s:%s", target, trigger, strings.Join(pairs, ";"))
+	case OpBSCrash:
+		return "bscrash=" + trigger
+	case OpBSRestart:
+		return "bsrestart=" + trigger
+	default:
+		return fmt.Sprintf("unknown-op-%d=%d@%s", int(ev.Op), ev.SBS, trigger)
+	}
+}
+
+// formatTrigger renders a protocol point: "W" or phase-granular "W.P".
+func formatTrigger(sweep, phase int) string {
+	if phase == 0 {
+		return strconv.Itoa(sweep)
+	}
+	return fmt.Sprintf("%d.%d", sweep, phase)
+}
+
+// faultPairs renders a fault configuration's non-zero fields as key/value
+// tokens; the zero configuration renders as nothing (clean links).
+func faultPairs(fc transport.FaultConfig) []string {
+	var out []string
+	if fc.DropProb != 0 {
+		out = append(out, "drop="+formatProb(fc.DropProb))
+	}
+	if fc.DupProb != 0 {
+		out = append(out, "dup="+formatProb(fc.DupProb))
+	}
+	if fc.ReorderProb != 0 {
+		out = append(out, "reorder="+formatProb(fc.ReorderProb))
+	}
+	if fc.MaxDelay != 0 {
+		out = append(out, "delay="+fc.MaxDelay.String())
+	}
+	return out
+}
+
+// formatProb renders a probability with the shortest representation that
+// ParseFloat round-trips to the identical bits.
+func formatProb(p float64) string {
+	return strconv.FormatFloat(p, 'g', -1, 64)
+}
+
+// Spec formats the process schedule as a -proc-chaos spec string that
+// ParseProcSpec parses back to the same schedule, one directive per event
+// in Events order. Like Schedule.Spec, the string only re-parses when the
+// event order satisfies ParseProcSpec's per-target discipline (always true
+// for parsed or RandomProcSchedule-generated schedules).
+func (s ProcSchedule) Spec() string {
+	parts := make([]string, 0, len(s.Events))
+	for _, ev := range s.Events {
+		parts = append(parts, procEventSpec(ev))
+	}
+	return strings.Join(parts, ",")
+}
+
+// procEventSpec renders one process event as its spec directive.
+func procEventSpec(ev ProcEvent) string {
+	target := ev.Cell
+	if ev.SBS >= 0 {
+		target = fmt.Sprintf("%s.%d", ev.Cell, ev.SBS)
+	}
+	switch ev.Op {
+	case ProcKill:
+		return fmt.Sprintf("kill=%s@%d", target, ev.Sweep)
+	case ProcStop:
+		return fmt.Sprintf("stop=%s@%d+%s", target, ev.Sweep, ev.Delay)
+	case ProcSpawnDelay:
+		return fmt.Sprintf("spawndelay=%s@%s", target, ev.Delay)
+	default:
+		return fmt.Sprintf("unknown-procop-%d=%s@%d", int(ev.Op), target, ev.Sweep)
+	}
+}

@@ -1,0 +1,168 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"edgecache/internal/transport"
+)
+
+// TestSpecRoundTrip is the deterministic core of FuzzSpecRoundTrip: parse,
+// format, re-parse, compare — plus the exact rendering for a few anchors
+// so the output format stays reviewable.
+func TestSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // "" means only assert the structural round trip
+	}{
+		{spec: "", want: "seed=1"},
+		{spec: "seed=7,drop=0.3,crash=1@2+3", want: "seed=7,drop=0.3,crash=1@2,restart=1@5"},
+		{spec: "bscrash=2+1", want: "seed=1,bscrash=2,bsrestart=3"},
+		{spec: "partition=0@1+2,delay=5ms", want: "seed=1,delay=5ms,partition=0@1+2"},
+		{spec: "linkfault=*@2:drop=0.2;dup=0.1;reorder=0.05;delay=3ms"},
+		{spec: "linkfault=1@2:drop=0.25,linkfault=1@4"},
+		{spec: "crash=0@2.1,restart=0@3", want: "seed=1,crash=0@2.1,restart=0@3"},
+		{spec: "seed=-9,dup=0.125,reorder=0.0625,heal=2@4"},
+	}
+	for _, tc := range cases {
+		s, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		got := s.Spec()
+		if tc.want != "" && got != tc.want {
+			t.Errorf("ParseSpec(%q).Spec() = %q, want %q", tc.spec, got, tc.want)
+		}
+		again, err := ParseSpec(got)
+		if err != nil {
+			t.Errorf("re-parse of %q (from %q): %v", got, tc.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Errorf("round trip of %q changed schedule: %+v vs %+v", tc.spec, s, again)
+		}
+	}
+}
+
+// TestProcSpecRoundTrip mirrors TestSpecRoundTrip for -proc-chaos specs.
+func TestProcSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{spec: "", want: ""},
+		{spec: "kill=cell-1@2", want: "kill=cell-1@2"},
+		{spec: "stop=cell-0@1+100ms,kill=cell-0.2@3", want: "stop=cell-0@1+100ms,kill=cell-0.2@3"},
+		{spec: "spawndelay=cell-0@50ms,kill=cell-0@2", want: "spawndelay=cell-0@50ms,kill=cell-0@2"},
+	}
+	for _, tc := range cases {
+		s, err := ParseProcSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseProcSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		got := s.Spec()
+		if got != tc.want {
+			t.Errorf("ParseProcSpec(%q).Spec() = %q, want %q", tc.spec, got, tc.want)
+		}
+		again, err := ParseProcSpec(got)
+		if err != nil {
+			t.Errorf("re-parse of %q: %v", got, err)
+			continue
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Errorf("round trip of %q changed schedule: %+v vs %+v", tc.spec, s, again)
+		}
+	}
+}
+
+// TestSpecProgrammaticFormat covers schedules built in code rather than
+// parsed, including the all-links target and fault attribute rendering.
+func TestSpecProgrammaticFormat(t *testing.T) {
+	s := Schedule{
+		Seed:  11,
+		Links: transport.FaultConfig{DropProb: 0.1, MaxDelay: 2 * time.Millisecond},
+		Events: []Event{
+			{Sweep: 1, SBS: 0, Op: OpCrash},
+			{Sweep: 2, Phase: 1, SBS: -1, Op: OpLinkFaults, Faults: transport.FaultConfig{DupProb: 0.05}},
+			{Sweep: 3, SBS: 0, Op: OpRestart},
+		},
+	}
+	want := "seed=11,drop=0.1,delay=2ms,crash=0@1,linkfault=*@2.1:dup=0.05,restart=0@3"
+	if got := s.Spec(); got != want {
+		t.Fatalf("Spec() = %q, want %q", got, want)
+	}
+	again, err := ParseSpec(want)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if !reflect.DeepEqual(s, again) {
+		t.Fatalf("round trip changed schedule: %+v vs %+v", s, again)
+	}
+}
+
+// TestSpecErrorsNameFullSpec pins the satellite requirement that parse
+// errors are self-diagnosing: the message carries both the offending item
+// and the complete original spec string, so a soak repro line that fails
+// to parse identifies itself.
+func TestSpecErrorsNameFullSpec(t *testing.T) {
+	cases := []struct {
+		parse func(string) error
+		spec  string
+		item  string
+	}{
+		{func(s string) error { _, err := ParseSpec(s); return err }, "drop=0.1,crash=banana@2", "crash=banana@2"},
+		{func(s string) error { _, err := ParseSpec(s); return err }, "crash=1@2,frobnicate=3", "frobnicate=3"},
+		{func(s string) error { _, err := ParseProcSpec(s); return err }, "kill=cell-0@1,stop=cell-0@2", "stop=cell-0@2"},
+		{func(s string) error { _, err := ParseProcSpec(s); return err }, "spawndelay=cell-0@-5ms,kill=cell-0@1", "spawndelay=cell-0@-5ms"},
+	}
+	for _, tc := range cases {
+		err := tc.parse(tc.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): expected error", tc.spec)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, strconvQuote(tc.spec)) {
+			t.Errorf("error for %q does not name the full spec: %q", tc.spec, msg)
+		}
+		if !strings.Contains(msg, strconvQuote(tc.item)) {
+			t.Errorf("error for %q does not name the offending item %q: %q", tc.spec, tc.item, msg)
+		}
+	}
+}
+
+// TestSpecConflictErrorNamesSpec checks conflict rejections carry the full
+// spec too.
+func TestSpecConflictErrorNamesSpec(t *testing.T) {
+	spec := "crash=1@5,crash=1@2"
+	_, err := ParseSpec(spec)
+	var conflict *SpecConflictError
+	if !errors.As(err, &conflict) {
+		t.Fatalf("expected SpecConflictError, got %v", err)
+	}
+	if conflict.Spec != spec {
+		t.Fatalf("conflict.Spec = %q, want %q", conflict.Spec, spec)
+	}
+	if !strings.Contains(err.Error(), strconvQuote(spec)) {
+		t.Fatalf("conflict message does not name the spec: %q", err.Error())
+	}
+
+	procSpec := "kill=cell-0@1,kill=cell-0@1"
+	_, err = ParseProcSpec(procSpec)
+	if !errors.As(err, &conflict) {
+		t.Fatalf("expected SpecConflictError, got %v", err)
+	}
+	if conflict.Spec != procSpec {
+		t.Fatalf("proc conflict.Spec = %q, want %q", conflict.Spec, procSpec)
+	}
+}
+
+// strconvQuote mirrors the %q rendering the error paths use.
+func strconvQuote(s string) string {
+	return `"` + s + `"`
+}

@@ -317,7 +317,10 @@ func runBS(cfg agentConfig, out io.Writer, in io.Reader) error {
 	ctx := context.Background()
 	var res *core.RunResult
 	if cfg.resume {
-		ck, lerr := store.Latest()
+		// DeepLatest rather than Latest: a supervised restart follows an
+		// unclean death, so corrupt snapshots are quarantined on the way
+		// to the newest intact one instead of silently skipped.
+		ck, lerr := store.DeepLatest()
 		switch {
 		case errors.Is(lerr, model.ErrNoCheckpoint):
 			// Died before the first sweep boundary: nothing to resume.

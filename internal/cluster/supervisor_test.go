@@ -13,6 +13,7 @@ import (
 
 	"edgecache/internal/chaos"
 	"edgecache/internal/core"
+	"edgecache/internal/leak"
 	"edgecache/internal/model"
 )
 
@@ -122,6 +123,10 @@ func testSpec(cells, sbss, maxSweeps int) model.ClusterSpec {
 func runSupervised(t *testing.T, spec model.ClusterSpec, procs chaos.ProcSchedule,
 	timeout time.Duration) ([]*model.Instance, *Result, error) {
 	t.Helper()
+	// Every supervised run must unwind completely: heartbeat listeners,
+	// per-cell waiters, chaos timers. The guard fails the test with a
+	// stack dump if any survive the run.
+	leak.Check(t)
 	insts := make([]*model.Instance, len(spec.Cells))
 	for i, c := range spec.Cells {
 		insts[i] = testInstance(t, c.SBSs, c.Seed)

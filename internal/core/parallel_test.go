@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"edgecache/internal/leak"
 	"edgecache/internal/model"
 )
 
@@ -17,6 +18,8 @@ import (
 // runPhase, solveShare or the tracker row kernels fails this test, in
 // concert with the static noalloc analyzer gate.
 func TestParallelSweepZeroAllocsPerWorker(t *testing.T) {
+	// The pool's workers must all exit when the coordinator closes.
+	leak.Check(t)
 	const workers = 4
 	inst := benchScale(workers, 30, 50)
 	c, err := NewCoordinator(inst, parallelCfg(workers))
@@ -52,6 +55,10 @@ func TestParallelSweepZeroAllocsPerWorker(t *testing.T) {
 // trajectory back on the reference path bit-for-bit. Three schedules run
 // in parallel to multiply scheduler interleavings.
 func TestParallelPoolChaosScheduledCrashes(t *testing.T) {
+	// Crash-and-retry rounds must not strand pool workers. The subtests
+	// run in parallel, so the guard sits on the parent: it fires after
+	// every subtest (and its pools) finished.
+	leak.Check(t)
 	const rounds = 12
 	for _, seed := range []int64{11, 23, 42} {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {

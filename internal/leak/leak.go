@@ -1,0 +1,76 @@
+// Package leak provides a reusable goroutine-leak guard for tests and for
+// the soak harness's no-goroutine-growth invariant: snapshot the goroutine
+// count before the work, compare after with a settle loop (goroutines that
+// are shutting down need a moment to exit), and on growth report the full
+// stack dump so the leaked goroutine is identified, not just counted.
+package leak
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Snapshot records the current goroutine count.
+type Snapshot struct {
+	// Goroutines is the count at capture time.
+	Goroutines int
+}
+
+// Take captures the current goroutine count.
+func Take() Snapshot {
+	return Snapshot{Goroutines: runtime.NumGoroutine()}
+}
+
+// settleSteps is the retry schedule Diff polls on: cheap fast retries
+// first for the common case (a worker pool draining), then coarser waits
+// up to ~3s total for slow teardown under -race or a loaded CI runner.
+var settleSteps = []time.Duration{
+	1 * time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond,
+	50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, 1 * time.Second, 1 * time.Second,
+}
+
+// Diff compares the current goroutine count against the snapshot, polling
+// until the count settles back to the baseline or the retry schedule is
+// exhausted. On growth it returns an error carrying the leaked count and
+// the full goroutine stack dump. A count at or below the baseline returns
+// nil — goroutines that existed before the snapshot may exit during the
+// guarded work.
+func (s Snapshot) Diff() error {
+	n := runtime.NumGoroutine()
+	for _, wait := range settleSteps {
+		if n <= s.Goroutines {
+			return nil
+		}
+		time.Sleep(wait)
+		n = runtime.NumGoroutine()
+	}
+	if n <= s.Goroutines {
+		return nil
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	return fmt.Errorf("leak: goroutine count grew from %d to %d; stacks:\n%s", s.Goroutines, n, buf)
+}
+
+// TB is the subset of testing.TB the guard needs; an interface so the
+// package stays importable outside tests (soak uses Diff directly).
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// Check arms a guard for one test: it snapshots now and registers a
+// cleanup that fails the test if the goroutine count has grown by the time
+// the test (and its other cleanups) finished.
+func Check(t TB) {
+	t.Helper()
+	before := Take()
+	t.Cleanup(func() {
+		if err := before.Diff(); err != nil {
+			t.Errorf("%v", err)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package model
+
+import (
+	"io"
+	"os"
+	"sort"
+)
+
+// CheckpointFS is the filesystem seam CheckpointStore writes through. The
+// default implementation (OSCheckpointFS) passes straight to the os
+// package; the fault-injecting implementation (FaultFS) wraps another
+// CheckpointFS to simulate short writes, full disks, failed renames, and
+// post-write bit-rot, which is how the soak harness makes disk a fault
+// domain instead of an assumption.
+type CheckpointFS interface {
+	// MkdirAll creates the directory (and parents) if needed.
+	MkdirAll(dir string, perm os.FileMode) error
+	// OpenFile opens a file for writing with the given flags.
+	OpenFile(name string, flag int, perm os.FileMode) (CheckpointFile, error)
+	// Rename atomically moves oldpath to newpath (the durability step of
+	// write-then-rename, and the quarantine step of Scrub).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDirNames returns the names (not paths) of the plain files in
+	// dir, sorted.
+	ReadDirNames(dir string) ([]string, error)
+	// ReadFile returns a file's full contents.
+	ReadFile(name string) ([]byte, error)
+}
+
+// CheckpointFile is the open-file surface Save needs: write, make durable,
+// close.
+type CheckpointFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSCheckpointFS implements CheckpointFS directly on the os package.
+type OSCheckpointFS struct{}
+
+var _ CheckpointFS = OSCheckpointFS{}
+
+// MkdirAll implements CheckpointFS.
+func (OSCheckpointFS) MkdirAll(dir string, perm os.FileMode) error {
+	return os.MkdirAll(dir, perm)
+}
+
+// OpenFile implements CheckpointFS.
+func (OSCheckpointFS) OpenFile(name string, flag int, perm os.FileMode) (CheckpointFile, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Rename implements CheckpointFS.
+func (OSCheckpointFS) Rename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove implements CheckpointFS.
+func (OSCheckpointFS) Remove(name string) error {
+	return os.Remove(name)
+}
+
+// ReadDirNames implements CheckpointFS.
+func (OSCheckpointFS) ReadDirNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements CheckpointFS.
+func (OSCheckpointFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(name)
+}
+
+// quarantineExt marks snapshots DeepLatest/Scrub moved aside after a
+// failed CRC or decode; the suffix keeps them out of List (and prune) while
+// preserving the bytes for post-mortem.
+const quarantineExt = ".corrupt"
+
+// quarantineName renders the aside-name for a corrupt snapshot.
+func quarantineName(name string) string {
+	return name + quarantineExt
+}

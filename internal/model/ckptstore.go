@@ -38,6 +38,7 @@ const checkpointExt = ".ckpt"
 type CheckpointStore struct {
 	dir    string
 	retain int
+	fs     CheckpointFS
 }
 
 var (
@@ -48,16 +49,26 @@ var (
 // NewCheckpointStore opens (creating if needed) a snapshot directory.
 // retain bounds the number of kept snapshots; 0 means the default (5).
 func NewCheckpointStore(dir string, retain int) (*CheckpointStore, error) {
+	return NewCheckpointStoreFS(dir, retain, OSCheckpointFS{})
+}
+
+// NewCheckpointStoreFS is NewCheckpointStore over an explicit filesystem —
+// the seam the soak harness uses to put a fault-injecting FaultFS under an
+// otherwise unmodified store.
+func NewCheckpointStoreFS(dir string, retain int, fs CheckpointFS) (*CheckpointStore, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("model: checkpoint store needs a directory")
 	}
 	if retain <= 0 {
 		retain = 5
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fs == nil {
+		fs = OSCheckpointFS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("model: checkpoint store: %w", err)
 	}
-	return &CheckpointStore{dir: dir, retain: retain}, nil
+	return &CheckpointStore{dir: dir, retain: retain, fs: fs}, nil
 }
 
 // Dir returns the store's directory.
@@ -80,26 +91,26 @@ func (s *CheckpointStore) Save(ck *Checkpoint) error {
 	}
 	final := filepath.Join(s.dir, fileName(ck.Sweep, ck.Phase))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("model: checkpoint store: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("model: checkpoint store: write %s: %w", tmp, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("model: checkpoint store: sync %s: %w", tmp, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("model: checkpoint store: close %s: %w", tmp, err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, final); err != nil {
+		s.fs.Remove(tmp)
 		return fmt.Errorf("model: checkpoint store: rename %s: %w", tmp, err)
 	}
 	return s.prune()
@@ -107,14 +118,14 @@ func (s *CheckpointStore) Save(ck *Checkpoint) error {
 
 // List returns the stored snapshot file names, oldest first.
 func (s *CheckpointStore) List() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+	all, err := s.fs.ReadDirNames(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("model: checkpoint store: %w", err)
 	}
 	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), checkpointExt) {
-			names = append(names, e.Name())
+	for _, name := range all {
+		if strings.HasSuffix(name, checkpointExt) {
+			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
@@ -132,7 +143,7 @@ func (s *CheckpointStore) Latest() (*Checkpoint, error) {
 	}
 	var decodeErrs []error
 	for i := len(names) - 1; i >= 0; i-- {
-		data, err := os.ReadFile(filepath.Join(s.dir, names[i]))
+		data, err := s.fs.ReadFile(filepath.Join(s.dir, names[i]))
 		if err != nil {
 			decodeErrs = append(decodeErrs, err)
 			continue
@@ -152,21 +163,17 @@ func (s *CheckpointStore) Latest() (*Checkpoint, error) {
 
 // prune removes stale temp files and all but the newest retain snapshots.
 func (s *CheckpointStore) prune() error {
-	entries, err := os.ReadDir(s.dir)
+	all, err := s.fs.ReadDirNames(s.dir)
 	if err != nil {
 		return fmt.Errorf("model: checkpoint store: %w", err)
 	}
 	var names []string
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() {
-			continue
-		}
+	for _, name := range all {
 		if strings.HasSuffix(name, checkpointExt+".tmp") {
 			// A leftover temp file is by definition incomplete (a finished
 			// write is renamed away immediately); single-writer contract
 			// makes removal safe.
-			os.Remove(filepath.Join(s.dir, name))
+			s.fs.Remove(filepath.Join(s.dir, name))
 			continue
 		}
 		if strings.HasSuffix(name, checkpointExt) {
@@ -175,12 +182,103 @@ func (s *CheckpointStore) prune() error {
 	}
 	sort.Strings(names)
 	for len(names) > s.retain {
-		if err := os.Remove(filepath.Join(s.dir, names[0])); err != nil {
+		if err := s.fs.Remove(filepath.Join(s.dir, names[0])); err != nil {
 			return fmt.Errorf("model: checkpoint store: prune: %w", err)
 		}
 		names = names[1:]
 	}
 	return nil
+}
+
+// DeepLatest is Latest with active recovery: every candidate is read and
+// CRC-verified newest-first, corrupt files are quarantined (renamed aside
+// with a ".corrupt" suffix) instead of merely skipped, and the newest
+// intact snapshot is returned. Use it on the resume path after an unclean
+// shutdown — unlike Latest it mutates the directory, which is exactly what
+// recovery wants (a later save under a quarantined name must not resurrect
+// corrupt bytes as the apparent newest snapshot).
+func (s *CheckpointStore) DeepLatest() (*Checkpoint, error) {
+	ck, _, err := s.scrub(true)
+	return ck, err
+}
+
+// ScrubReport summarizes a Scrub pass.
+type ScrubReport struct {
+	// Intact counts snapshots that decoded cleanly.
+	Intact int
+	// Quarantined lists the snapshot file names (pre-rename) that failed
+	// CRC or decode and were moved aside.
+	Quarantined []string
+}
+
+// Scrub CRC-verifies every stored snapshot and quarantines the corrupt
+// ones; the report says what was kept and what was moved aside. Scrub is
+// the full-sweep variant of DeepLatest for offline checks (soak's disk
+// invariant, an operator fsck).
+func (s *CheckpointStore) Scrub() (ScrubReport, error) {
+	_, report, err := s.scrub(false)
+	if errors.Is(err, ErrNoCheckpoint) {
+		err = nil
+	}
+	return report, err
+}
+
+// scrub walks snapshots newest-first, quarantining undecodable ones. With
+// stopAtFirst it returns the newest intact snapshot as soon as it decodes;
+// otherwise it verifies everything.
+func (s *CheckpointStore) scrub(stopAtFirst bool) (*Checkpoint, ScrubReport, error) {
+	names, err := s.List()
+	if err != nil {
+		return nil, ScrubReport{}, err
+	}
+	var (
+		report  ScrubReport
+		newest  *Checkpoint
+		badErrs []error
+	)
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(s.dir, names[i])
+		ck, err := s.verify(path)
+		if err != nil {
+			badErrs = append(badErrs, fmt.Errorf("%s: %w", names[i], err))
+			if qerr := s.fs.Rename(path, quarantineName(path)); qerr != nil {
+				// Quarantine is best-effort: a read-only directory still
+				// gets fallback semantics, just without the rename.
+				badErrs = append(badErrs, fmt.Errorf("quarantine %s: %w", names[i], qerr))
+			}
+			report.Quarantined = append(report.Quarantined, names[i])
+			continue
+		}
+		report.Intact++
+		if newest == nil {
+			newest = ck
+			if stopAtFirst {
+				return newest, report, nil
+			}
+		}
+	}
+	if newest == nil {
+		// The caller needed a snapshot back (DeepLatest) and none
+		// survived: that is an error, and the per-file diagnoses matter.
+		// A full sweep (Scrub) that quarantined everything did its job —
+		// the report records the outcome, so it reads as ErrNoCheckpoint
+		// which Scrub maps to success.
+		if stopAtFirst && len(badErrs) > 0 {
+			return nil, report, fmt.Errorf("model: checkpoint store: no recoverable snapshot: %w", errors.Join(badErrs...))
+		}
+		return nil, report, ErrNoCheckpoint
+	}
+	return newest, report, nil
+}
+
+// verify reads and decodes one snapshot file (the decode includes the CRC
+// check UnmarshalCheckpoint performs).
+func (s *CheckpointStore) verify(path string) (*Checkpoint, error) {
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalCheckpoint(data)
 }
 
 // MemCheckpointStore keeps snapshots in memory — the sink used by tests

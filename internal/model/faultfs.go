@@ -1,0 +1,232 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FaultFSConfig sets the seeded per-operation fault probabilities of a
+// FaultFS. All probabilities are in [0, 1]; a zero config injects nothing.
+type FaultFSConfig struct {
+	// Seed drives every fault draw; the same seed over the same operation
+	// sequence injects the same faults.
+	Seed int64
+	// ShortWrite truncates a Write to a prefix and reports a write error
+	// (a torn write the caller observes — the store deletes its temp
+	// file and surfaces the error).
+	ShortWrite float64
+	// ENOSPC fails a Write with syscall.ENOSPC after persisting a prefix,
+	// the disk-full case.
+	ENOSPC float64
+	// RenameFail fails a Rename outright with syscall.EIO, leaving the
+	// temp file in place for prune to collect.
+	RenameFail float64
+	// TornRename truncates the source file to a prefix and then lets the
+	// Rename succeed — the crash-during-rename case on filesystems
+	// without atomic rename, which lands a corrupt file under the final
+	// snapshot name that only CRC verification can catch.
+	TornRename float64
+	// BitRot flips one byte of the destination file after a successful
+	// Rename: silent media corruption of a snapshot that was written
+	// correctly.
+	BitRot float64
+}
+
+// FaultFSStats counts the faults a FaultFS actually injected.
+type FaultFSStats struct {
+	ShortWrites int
+	ENOSPC      int
+	RenameFails int
+	TornRenames int
+	BitRots     int
+}
+
+// Total sums all injected faults.
+func (s FaultFSStats) Total() int {
+	return s.ShortWrites + s.ENOSPC + s.RenameFails + s.TornRenames + s.BitRots
+}
+
+// FaultFS wraps a CheckpointFS and injects seeded disk faults: short
+// writes, ENOSPC, rename failures, torn renames, and post-write bit-rot.
+// It is the soak harness's disk fault domain — CheckpointStore runs
+// unmodified on top and its Scrub/DeepLatest recovery path has to cope
+// with whatever lands on (the simulated) disk. Safe for concurrent use.
+type FaultFS struct {
+	inner CheckpointFS
+	cfg   FaultFSConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats FaultFSStats
+}
+
+var _ CheckpointFS = (*FaultFS)(nil)
+
+// NewFaultFS wraps inner with seeded fault injection.
+func NewFaultFS(inner CheckpointFS, cfg FaultFSConfig) *FaultFS {
+	return &FaultFS{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns a copy of the injected-fault counters.
+func (f *FaultFS) Stats() FaultFSStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// draw makes one seeded probability decision.
+func (f *FaultFS) draw(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64() < p
+}
+
+// MkdirAll passes through: directory creation is not a modeled fault.
+func (f *FaultFS) MkdirAll(dir string, perm os.FileMode) error {
+	return f.inner.MkdirAll(dir, perm)
+}
+
+// OpenFile opens the underlying file wrapped so Write can inject faults.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (CheckpointFile, error) {
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, file: file, name: name}, nil
+}
+
+// Rename injects rename failure, torn rename, or post-rename bit-rot;
+// otherwise it passes through.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if f.draw(f.cfg.RenameFail) {
+		f.count(func(s *FaultFSStats) { s.RenameFails++ })
+		return fmt.Errorf("faultfs: injected rename failure %s -> %s: %w", oldpath, newpath, syscall.EIO)
+	}
+	if f.draw(f.cfg.TornRename) {
+		if err := f.truncateToPrefix(oldpath); err == nil {
+			f.count(func(s *FaultFSStats) { s.TornRenames++ })
+		}
+	}
+	if err := f.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	if f.draw(f.cfg.BitRot) {
+		if err := f.flipByte(newpath); err == nil {
+			f.count(func(s *FaultFSStats) { s.BitRots++ })
+		}
+	}
+	return nil
+}
+
+// Remove passes through.
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// ReadDirNames passes through.
+func (f *FaultFS) ReadDirNames(dir string) ([]string, error) {
+	return f.inner.ReadDirNames(dir)
+}
+
+// ReadFile passes through: read-side corruption is modeled as bit-rot at
+// write time, so repeated reads see a stable (corrupt) file the way real
+// media corruption behaves.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	return f.inner.ReadFile(name)
+}
+
+// count updates the stats under the lock.
+func (f *FaultFS) count(update func(*FaultFSStats)) {
+	f.mu.Lock()
+	update(&f.stats)
+	f.mu.Unlock()
+}
+
+// truncateToPrefix rewrites name with a seeded prefix of its contents
+// (at least one byte short, possibly empty).
+func (f *FaultFS) truncateToPrefix(name string) error {
+	data, err := f.inner.ReadFile(name)
+	if err != nil || len(data) == 0 {
+		return err
+	}
+	f.mu.Lock()
+	n := f.rng.Intn(len(data))
+	f.mu.Unlock()
+	return f.rewrite(name, data[:n])
+}
+
+// flipByte XOR-flips one seeded byte of name in place.
+func (f *FaultFS) flipByte(name string) error {
+	data, err := f.inner.ReadFile(name)
+	if err != nil || len(data) == 0 {
+		return err
+	}
+	f.mu.Lock()
+	i := f.rng.Intn(len(data))
+	bit := byte(1 << f.rng.Intn(8))
+	f.mu.Unlock()
+	data[i] ^= bit
+	return f.rewrite(name, data)
+}
+
+// rewrite replaces name's contents via the inner FS (no fault injection —
+// this is the injector's own mechanism, not a modeled operation).
+func (f *FaultFS) rewrite(name string, data []byte) error {
+	file, err := f.inner.OpenFile(name, os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := file.Write(data); err != nil {
+		file.Close()
+		return err
+	}
+	if err := file.Sync(); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// faultFile wraps an open file to inject write-time faults.
+type faultFile struct {
+	fs   *FaultFS
+	file CheckpointFile
+	name string
+}
+
+// Write injects short writes and ENOSPC; both persist a seeded prefix and
+// return an error, which is exactly what a torn write or a full disk does
+// to the store's temp file.
+func (w *faultFile) Write(p []byte) (int, error) {
+	if w.fs.draw(w.fs.cfg.ShortWrite) {
+		w.fs.mu.Lock()
+		n := w.fs.rng.Intn(len(p) + 1)
+		w.fs.mu.Unlock()
+		if n > 0 {
+			w.file.Write(p[:n])
+		}
+		w.fs.count(func(s *FaultFSStats) { s.ShortWrites++ })
+		return n, fmt.Errorf("faultfs: injected short write of %s (%d of %d bytes)", w.name, n, len(p))
+	}
+	if w.fs.draw(w.fs.cfg.ENOSPC) {
+		w.fs.mu.Lock()
+		n := w.fs.rng.Intn(len(p) + 1)
+		w.fs.mu.Unlock()
+		if n > 0 {
+			w.file.Write(p[:n])
+		}
+		w.fs.count(func(s *FaultFSStats) { s.ENOSPC++ })
+		return n, fmt.Errorf("faultfs: injected write of %s: %w", w.name, syscall.ENOSPC)
+	}
+	return w.file.Write(p)
+}
+
+// Sync passes through.
+func (w *faultFile) Sync() error { return w.file.Sync() }
+
+// Close passes through.
+func (w *faultFile) Close() error { return w.file.Close() }

@@ -1,0 +1,92 @@
+package soak
+
+// ddmin is Zeller's delta-debugging minimization over an event list: given
+// a failing sequence and an interestingness test ("does this subset still
+// trigger the same failure?"), it returns a 1-minimal subsequence — every
+// remaining event is necessary, in the sense that removing any single one
+// makes the failure disappear. Order is preserved, which is what keeps
+// chaos schedule subsets parseable: a subsequence of a per-target-ordered
+// event list is still per-target-ordered.
+//
+// test is called O(n^2) times in the worst case; callers bound the work by
+// returning false once their run budget is exhausted (the result is then
+// the smallest interesting subset found so far, still a valid repro, just
+// possibly not 1-minimal).
+func ddmin[T any](items []T, test func([]T) bool) []T {
+	if len(items) <= 1 {
+		return items
+	}
+	current := items
+	granularity := 2
+	for len(current) >= 2 {
+		chunks := split(current, granularity)
+		reduced := false
+
+		// Try each chunk alone: the failure may live entirely inside one.
+		for _, chunk := range chunks {
+			if len(chunk) < len(current) && test(chunk) {
+				current = chunk
+				granularity = 2
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+
+		// Try each complement: removing one chunk may keep the failure.
+		if granularity > 2 {
+			for i := range chunks {
+				complement := without(chunks, i)
+				if len(complement) < len(current) && test(complement) {
+					current = complement
+					granularity = max(granularity-1, 2)
+					reduced = true
+					break
+				}
+			}
+			if reduced {
+				continue
+			}
+		}
+
+		// Refine granularity or stop.
+		if granularity >= len(current) {
+			return current
+		}
+		granularity = min(granularity*2, len(current))
+	}
+	return current
+}
+
+// split partitions items into n contiguous chunks of near-equal size.
+func split[T any](items []T, n int) [][]T {
+	if n > len(items) {
+		n = len(items)
+	}
+	chunks := make([][]T, 0, n)
+	size := len(items) / n
+	extra := len(items) % n
+	at := 0
+	for i := 0; i < n; i++ {
+		end := at + size
+		if i < extra {
+			end++
+		}
+		chunks = append(chunks, items[at:end])
+		at = end
+	}
+	return chunks
+}
+
+// without concatenates every chunk except chunks[skip], preserving order.
+func without[T any](chunks [][]T, skip int) []T {
+	var out []T
+	for i, c := range chunks {
+		if i != skip {
+			out = append(out, c...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package soak
+
+import (
+	"reflect"
+	"testing"
+)
+
+func ints(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// contains reports whether items includes every value in want, in order
+// (the ddmin preconditions: subsets preserve relative order).
+func contains(items []int, want ...int) bool {
+	at := 0
+	for _, v := range items {
+		if at < len(want) && v == want[at] {
+			at++
+		}
+	}
+	return at == len(want)
+}
+
+func TestDdminSingleCulprit(t *testing.T) {
+	got := ddmin(ints(20), func(s []int) bool { return contains(s, 13) })
+	if !reflect.DeepEqual(got, []int{13}) {
+		t.Errorf("ddmin = %v, want [13]", got)
+	}
+}
+
+func TestDdminInteractingPair(t *testing.T) {
+	// The failure needs both 3 and 17 — they live in different halves, so
+	// no single chunk reproduces it and ddmin must refine granularity.
+	got := ddmin(ints(20), func(s []int) bool { return contains(s, 3, 17) })
+	if !reflect.DeepEqual(got, []int{3, 17}) {
+		t.Errorf("ddmin = %v, want [3 17]", got)
+	}
+}
+
+func TestDdminPreservesOrder(t *testing.T) {
+	got := ddmin(ints(32), func(s []int) bool { return contains(s, 5, 6, 7) })
+	if !reflect.DeepEqual(got, []int{5, 6, 7}) {
+		t.Errorf("ddmin = %v, want [5 6 7]", got)
+	}
+}
+
+func TestDdminNothingToRemove(t *testing.T) {
+	// Every element is necessary: no proper subset is interesting, so the
+	// input comes back whole.
+	full := ints(4)
+	got := ddmin(full, func(s []int) bool { return len(s) == len(full) })
+	if !reflect.DeepEqual(got, full) {
+		t.Errorf("ddmin = %v, want %v", got, full)
+	}
+}
+
+func TestDdminBudgetExhaustedKeepsLastInteresting(t *testing.T) {
+	// A caller out of budget answers false to everything; the result is
+	// the smallest subset proven interesting so far — here the original.
+	calls := 0
+	got := ddmin(ints(16), func(s []int) bool {
+		calls++
+		return calls <= 2 && contains(s, 13) // budget dries up mid-search
+	})
+	if !contains(got, 13) {
+		t.Errorf("ddmin = %v, lost the culprit 13 after budget exhaustion", got)
+	}
+}
+
+func TestDdminTinyInputs(t *testing.T) {
+	if got := ddmin([]int{}, func([]int) bool { return true }); len(got) != 0 {
+		t.Errorf("ddmin(empty) = %v", got)
+	}
+	if got := ddmin([]int{7}, func([]int) bool { return true }); !reflect.DeepEqual(got, []int{7}) {
+		t.Errorf("ddmin(single) = %v", got)
+	}
+}

@@ -61,6 +61,17 @@ go test -race ./internal/model/... ./cmd/...
 echo "verify: go test -race -short ./internal/chaos/..."
 go test -race -short ./internal/chaos/...
 
+echo "verify: go test -race -short ./internal/soak/... ./internal/leak/..."
+go test -race -short ./internal/soak/... ./internal/leak/...
+
+# Randomized chaos soak gate: 25 seeded episodes of generated fault
+# schedules (plus per-episode disk fault-injection drills) under -race.
+# On failure it writes a ddmin-minimized repro file; replay it with
+# `edgesim -soak -soak-repro <file>`. The nightly job runs a much larger
+# budget including multi-process cluster episodes.
+echo "verify: randomized chaos soak gate (-race, 25 episodes)"
+go run -race ./cmd/edgesim -soak -soak-episodes=25 -soak-seed=1
+
 # Cluster supervision gate: real OS processes over TCP under -race — the
 # fault-free 10x10 bit-identity run, SIGKILL/SIGSTOP recovery from
 # checkpoint, SBS escalation and graceful degradation. These spawn dozens
